@@ -1,0 +1,55 @@
+# Development entry points. Everything is stdlib Go; no external tools.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short cover bench experiments \
+        experiments-quick modelcheck examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every paper artifact + extension ablations (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+# Exhaustive verification of the paper's lemmas (n=3 in ms, n=4 in ~2s).
+modelcheck:
+	$(GO) run ./cmd/modelcheck -n 3
+	$(GO) run ./cmd/modelcheck -n 4
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/faultdemo -rounds 2
+	$(GO) run ./examples/handover -ms 300
+	$(GO) run ./examples/cameranet -seconds 2
+	$(GO) run ./examples/lkcs -steps 30
+	$(GO) run ./examples/tcpring -seconds 2
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+// TestRegistrySanity checks the experiment index: unique ids, non-empty
+// descriptions, runnable functions.
+func TestRegistrySanity(t *testing.T) {
+	if len(registry) < 18 {
+		t.Fatalf("only %d experiments registered", len(registry))
+	}
+	seenID := map[string]bool{}
+	seenOrder := map[int]bool{}
+	for _, e := range registry {
+		if e.id == "" || e.what == "" || e.run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seenID[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		if seenOrder[e.order] {
+			t.Errorf("duplicate order %d (id %q)", e.order, e.id)
+		}
+		seenID[e.id] = true
+		seenOrder[e.order] = true
+	}
+	for _, want := range []string{
+		"fig1", "fig2", "fig3", "fig4", "fig11", "fig12", "fig13",
+		"closure", "deadlock", "lemma5", "theorem1", "theorem4",
+		"convergence", "exactworst", "baseline", "handover", "overhead",
+		"singlefault", "refresh", "delay", "scaling", "corruption",
+		"lkcs", "outage", "secondary", "transforms",
+	} {
+		if !seenID[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+// TestQuickExperimentsRun smoke-runs the cheap experiments end to end in
+// quick mode (they print to stdout; we only assert they do not panic).
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke run skipped in short mode")
+	}
+	cfg := runConfig{quick: true, seed: 1}
+	cheap := map[string]bool{
+		"fig1": true, "fig2": true, "fig3": true, "fig4": true,
+		"theorem1": true, "lkcs": true, "secondary": true,
+	}
+	for _, e := range registry {
+		if !cheap[e.id] {
+			continue
+		}
+		t.Run(e.id, func(t *testing.T) { e.run(cfg) })
+	}
+}

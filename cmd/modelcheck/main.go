@@ -1,0 +1,158 @@
+// Command modelcheck exhaustively verifies the paper's lemmas on small
+// SSRmin (and SSToken) instances by walking the full configuration space
+// under the unfair distributed daemon:
+//
+//   - Lemma 1  (closure): every successor of a legitimate configuration is
+//     legitimate, and exactly one process is enabled in Λ.
+//   - Lemma 4  (no deadlock): every configuration has an enabled process.
+//   - Lemma 5  (quiet bound): executions using only Rules 1/3/5 are finite
+//     and at most 3n steps long.
+//   - Lemma 6 / Theorem 2 (convergence): no execution avoids Λ forever;
+//     the exact worst-case stabilization time is reported.
+//   - Theorem 1: 1 ≤ privileged ≤ 2 in every legitimate configuration.
+//
+// Runtime grows as (4K)^n · 2^n; n=3 takes milliseconds, n=4 about a
+// second, n=5 minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ssrmin/internal/check"
+	"ssrmin/internal/core"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/statemodel"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 3, "ring size")
+		k       = flag.Int("k", 0, "counter space K (default n+1)")
+		algF    = flag.String("alg", "ssrmin", "algorithm: ssrmin | sstoken")
+		maxConf = flag.Uint64("max-configs", 50_000_000, "refuse spaces larger than this")
+		workers = flag.Int("workers", 0, "parallel workers for invariant scans (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	parallelWorkers = *workers
+	if *k == 0 {
+		*k = *n + 1
+	}
+
+	ok := true
+	switch *algF {
+	case "ssrmin":
+		ok = checkSSRmin(*n, *k, *maxConf)
+	case "sstoken":
+		ok = checkSSToken(*n, *k, *maxConf)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algF)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// parallelWorkers configures the worker pool of the embarrassingly
+// parallel scans (no-deadlock, token bounds). The sequential passes
+// (convergence DFS) are unaffected.
+var parallelWorkers int
+
+func checkSSRmin(n, k int, maxConf uint64) bool {
+	a := core.New(n, k)
+	c := check.New[core.State](a, maxConf)
+	fmt.Printf("== %s: |Γ| = %d configurations ==\n", a.Name(), c.NumConfigs())
+	ok := true
+
+	start := time.Now()
+	if cex, fine := c.CheckNoDeadlockParallel(parallelWorkers); !fine {
+		fmt.Printf("FAIL Lemma 4 (no deadlock): deadlocked at %v\n", cex)
+		ok = false
+	} else {
+		fmt.Printf("PASS Lemma 4 (no deadlock)                         [%v]\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	start = time.Now()
+	rep := c.CheckClosure(a.Legitimate)
+	switch {
+	case rep.Counterexample != nil:
+		fmt.Printf("FAIL Lemma 1 (closure): %v -> %v\n", rep.Counterexample, rep.Successor)
+		ok = false
+	case rep.MaxEnabled != 1:
+		fmt.Printf("FAIL Lemma 1: %d processes enabled in some legitimate configuration\n", rep.MaxEnabled)
+		ok = false
+	default:
+		fmt.Printf("PASS Lemma 1 (closure): |Λ| = %d, exactly 1 enabled [%v]\n",
+			rep.Legitimate, time.Since(start).Round(time.Millisecond))
+	}
+
+	start = time.Now()
+	if cex, fine := c.CheckInvariantOnLegitimate(a.Legitimate, func(cfg statemodel.Config[core.State]) bool {
+		p, s, t := len(a.PrimaryHolders(cfg)), len(a.SecondaryHolders(cfg)), len(a.TokenHolders(cfg))
+		return p == 1 && s == 1 && t >= 1 && t <= 2
+	}); !fine {
+		fmt.Printf("FAIL Theorem 1 (token bounds) at %v\n", cex)
+		ok = false
+	} else {
+		fmt.Printf("PASS Theorem 1 (1 ≤ privileged ≤ 2 in Λ)           [%v]\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	start = time.Now()
+	steps, from, fine := c.LongestRestricted(map[int]bool{
+		core.RuleReadySecondary: true, core.RuleRecvSecondary: true, core.RuleFixNoG: true,
+	})
+	if !fine {
+		fmt.Printf("FAIL Lemma 5: infinite quiet execution from %v\n", from)
+		ok = false
+	} else if steps > 3*n {
+		fmt.Printf("FAIL Lemma 5: quiet execution of %d steps exceeds 3n = %d (from %v)\n", steps, 3*n, from)
+		ok = false
+	} else {
+		fmt.Printf("PASS Lemma 5: longest quiet execution %d ≤ 3n = %d  [%v]\n",
+			steps, 3*n, time.Since(start).Round(time.Millisecond))
+	}
+
+	start = time.Now()
+	conv := c.CheckConvergence(a.Legitimate)
+	if !conv.Converges {
+		fmt.Printf("FAIL Lemma 6 (convergence): cycle through %v\n", conv.Cycle)
+		ok = false
+	} else {
+		fmt.Printf("PASS Lemma 6/Theorem 2: worst-case stabilization = %d steps (from %v), |Γ∖Λ| = %d [%v]\n",
+			conv.WorstSteps, conv.WorstStart, conv.Illegitimate, time.Since(start).Round(time.Millisecond))
+	}
+	return ok
+}
+
+func checkSSToken(n, k int, maxConf uint64) bool {
+	a := dijkstra.New(n, k)
+	c := check.New[dijkstra.State](a, maxConf)
+	fmt.Printf("== %s: |Γ| = %d configurations ==\n", a.Name(), c.NumConfigs())
+	ok := true
+
+	if cex, fine := c.CheckNoDeadlock(); !fine {
+		fmt.Printf("FAIL no-deadlock: %v\n", cex)
+		ok = false
+	} else {
+		fmt.Println("PASS no-deadlock")
+	}
+	rep := c.CheckClosure(a.Legitimate)
+	if rep.Counterexample != nil {
+		fmt.Printf("FAIL closure: %v -> %v\n", rep.Counterexample, rep.Successor)
+		ok = false
+	} else {
+		fmt.Printf("PASS closure: |Λ| = %d, max enabled = %d\n", rep.Legitimate, rep.MaxEnabled)
+	}
+	conv := c.CheckConvergence(a.Legitimate)
+	if !conv.Converges {
+		fmt.Printf("FAIL convergence: cycle through %v\n", conv.Cycle)
+		ok = false
+	} else {
+		fmt.Printf("PASS convergence: worst case %d steps (bound 3n(n−1)/2 = %d)\n",
+			conv.WorstSteps, a.ConvergenceBound())
+	}
+	return ok
+}

@@ -1,0 +1,141 @@
+// Command ssrmin-mp runs the CST-transformed SSRmin (or the Dijkstra
+// SSToken baseline) over the discrete-event message-passing network and
+// reports the token-census timeline — the message-passing experiments of
+// Section 5 of the paper.
+//
+// Examples:
+//
+//	ssrmin-mp -n 5 -horizon 10                     # SSRmin, legit start
+//	ssrmin-mp -n 5 -alg sstoken -horizon 10        # Figure 11 baseline
+//	ssrmin-mp -n 5 -random -loss 0.1 -horizon 60   # Theorem 4 setting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ssrmin"
+	"ssrmin/internal/cst"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/msgnet"
+	"ssrmin/internal/scenario"
+	"ssrmin/internal/trace"
+	"ssrmin/internal/verify"
+)
+
+func main() {
+	var (
+		scenarioF = flag.String("scenario", "", "run a JSON scenario file instead of flags (see scenarios/)")
+
+		n       = flag.Int("n", 5, "ring size")
+		k       = flag.Int("k", 0, "counter space K (default n+1)")
+		algF    = flag.String("alg", "ssrmin", "algorithm: ssrmin | sstoken")
+		horizon = flag.Float64("horizon", 10, "simulated seconds to run")
+		delay   = flag.Float64("delay", 0.01, "link delay (s)")
+		jitter  = flag.Float64("jitter", 0.002, "link jitter bound (s)")
+		loss    = flag.Float64("loss", 0, "per-message loss probability")
+		refresh = flag.Float64("refresh", 0.05, "cache refresh period (s)")
+		hold    = flag.Float64("hold", 0, "critical-section dwell (s)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		random  = flag.Bool("random", false, "arbitrary initial states and incoherent caches")
+	)
+	flag.Parse()
+	if *scenarioF != "" {
+		runScenarioFile(*scenarioF)
+		return
+	}
+	if *k == 0 {
+		*k = *n + 1
+	}
+
+	switch *algF {
+	case "ssrmin":
+		runSSRmin(*n, *k, *horizon, *delay, *jitter, *loss, *refresh, *hold, *seed, *random)
+	case "sstoken":
+		runSSToken(*n, *k, *horizon, *delay, *jitter, *loss, *refresh, *hold, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algF)
+		os.Exit(2)
+	}
+}
+
+func runSSRmin(n, k int, horizon, delay, jitter, loss, refresh, hold float64, seed int64, random bool) {
+	opts := ssrmin.MPOptions{
+		K: k, Delay: delay, Jitter: jitter, LossProb: loss,
+		Refresh: refresh, Hold: hold, Seed: seed,
+	}
+	if random {
+		alg := ssrmin.New(n, k)
+		opts.Initial = ssrmin.RandomConfig(alg, rand.New(rand.NewSource(seed)))
+		opts.IncoherentCaches = true
+	}
+	m := ssrmin.NewMPSimulation(n, opts)
+	m.Run(horizon)
+	stats := m.Ring().Net.Stats()
+	tl := m.Timeline()
+	fmt.Printf("algorithm:     ssrmin(n=%d,K=%d)\n", n, k)
+	printTimeline(tl, stats, m.RuleExecutions())
+	fmt.Printf("final census:  %d privileged %v\n", m.Census(), m.Holders())
+}
+
+func runSSToken(n, k int, horizon, delay, jitter, loss, refresh, hold float64, seed int64) {
+	alg := dijkstra.New(n, k)
+	r := cst.NewRing[dijkstra.State](alg, alg.InitialLegitimate(), cst.Options[dijkstra.State]{
+		Link:           msgnet.LinkParams{Delay: msgnet.Time(delay), Jitter: msgnet.Time(jitter), LossProb: loss},
+		Refresh:        msgnet.Time(refresh),
+		Hold:           msgnet.Time(hold),
+		Seed:           seed,
+		CoherentCaches: true,
+	})
+	var tl verify.Timeline
+	r.Net.Observer = func(now msgnet.Time) {
+		tl.Record(float64(now), r.Census(dijkstra.HasToken))
+	}
+	r.Net.Run(msgnet.Time(horizon))
+	tl.Close(float64(r.Net.Now()))
+	fmt.Printf("algorithm:     %s under CST\n", alg.Name())
+	printTimeline(&tl, r.Net.Stats(), r.RuleExecutions())
+}
+
+func printTimeline(tl *verify.Timeline, stats msgnet.Stats, execs int) {
+	fmt.Printf("census span:   min=%d max=%d\n", tl.MinCount(), tl.MaxCount())
+	for _, c := range tl.Counts() {
+		fmt.Printf("  %d holder(s): %6.2f%% of time (%.3fs)\n", c, 100*tl.Fraction(c), tl.Duration(c))
+	}
+	fmt.Printf("rules:         %d executions\n", execs)
+	fmt.Printf("messages:      sent=%d delivered=%d suppressed=%d lost=%d dup=%d\n",
+		stats.Sent, stats.Delivered, stats.Suppressed, stats.Lost, stats.Duplicated)
+	fmt.Println("census strip ('.' marks instants with zero holders):")
+	if err := trace.RenderTimeline(os.Stdout, tl, 100); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// runScenarioFile executes every scenario in a JSON document and prints
+// the results as JSON.
+func runScenarioFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ss, err := scenario.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range ss {
+		res, err := s.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := scenario.WriteResult(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

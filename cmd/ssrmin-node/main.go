@@ -1,0 +1,111 @@
+// Command ssrmin-node runs ONE SSRmin process as a standalone network
+// service — the distributed deployment of the paper's algorithm. Start n
+// of these (on one machine or several), each pointing at its ring
+// neighbors, and the ring self-organizes: no leader election, no
+// initialization protocol, arbitrary start order, automatic recovery from
+// restarts and transient faults.
+//
+// Example — a 3-node ring on one machine:
+//
+//	ssrmin-node -id 0 -n 3 -listen 127.0.0.1:9000 -pred 127.0.0.1:9002 -succ 127.0.0.1:9001 &
+//	ssrmin-node -id 1 -n 3 -listen 127.0.0.1:9001 -pred 127.0.0.1:9000 -succ 127.0.0.1:9002 &
+//	ssrmin-node -id 2 -n 3 -listen 127.0.0.1:9002 -pred 127.0.0.1:9001 -succ 127.0.0.1:9000 &
+//
+// Each node logs its privilege transitions; kill and restart any node and
+// watch the ring heal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/netring"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", -1, "this node's ring index (0..n-1)")
+		n       = flag.Int("n", 0, "ring size (≥ 3)")
+		k       = flag.Int("k", 0, "counter space K (default n+1)")
+		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000")
+		pred    = flag.String("pred", "", "predecessor's listen address")
+		succ    = flag.String("succ", "", "successor's listen address")
+		refresh = flag.Duration("refresh", 50*time.Millisecond, "announcement refresh interval")
+		seconds = flag.Float64("seconds", 0, "exit after this many seconds (0 = run until signal)")
+	)
+	flag.Parse()
+
+	if *id < 0 || *n < 3 || *listen == "" || *pred == "" || *succ == "" {
+		fmt.Fprintln(os.Stderr, "required: -id -n -listen -pred -succ (see -h)")
+		os.Exit(2)
+	}
+	if *k == 0 {
+		*k = *n + 1
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Arbitrary initial state: self-stabilization means we need no
+	// coordination about starting values.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	init := core.State{X: rng.Intn(*k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+
+	node, err := netring.NewNode(netring.Config{
+		ID: *id, N: *n, K: *k,
+		Listener: l,
+		PredAddr: *pred,
+		SuccAddr: *succ,
+		Refresh:  *refresh,
+	}, init)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("node %d/%d listening on %s (initial state %v)\n", *id, *n, node.Addr(), init)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var deadline <-chan time.Time
+	if *seconds > 0 {
+		deadline = time.After(time.Duration(*seconds * float64(time.Second)))
+	}
+
+	// Log privilege transitions.
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	wasPrivileged := false
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("node %d: shutting down (%d rule executions)\n", *id, node.RuleExecutions())
+			return
+		case <-deadline:
+			fmt.Printf("node %d: done (%d rule executions)\n", *id, node.RuleExecutions())
+			return
+		case <-tick.C:
+			p := node.Privileged()
+			if p != wasPrivileged {
+				wasPrivileged = p
+				state, _, _ := node.Snapshot()
+				if p {
+					fmt.Printf("node %d: PRIVILEGED  (state %v)\n", *id, state)
+				} else {
+					fmt.Printf("node %d: idle        (state %v)\n", *id, state)
+				}
+			}
+		}
+	}
+}

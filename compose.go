@@ -1,0 +1,102 @@
+package ssrmin
+
+import (
+	"fmt"
+
+	"ssrmin/internal/compose"
+	"ssrmin/internal/core"
+	"ssrmin/internal/daemon"
+	"ssrmin/internal/statemodel"
+)
+
+// MultiSimulation runs m independent SSRmin instances composed over one
+// ring in the state-reading model. After every instance converges, the
+// number of privilege *grants* (process–instance pairs holding a token)
+// stays within [m, 2m] at every step — a (m, 2m)-critical-section system
+// in the sense of the (ℓ,k)-CS family the paper cites ([9]).
+type MultiSimulation struct {
+	alg   *Algorithm
+	multi *compose.Multi[core.State]
+	sim   *statemodel.Simulator[compose.MultiState[core.State]]
+}
+
+// MaxInstances is the maximum composition width.
+const MaxInstances = compose.MaxInstances
+
+// NewMultiSimulation composes m SSRmin instances over a ring of n
+// processes (K defaults to n+1). Instance j starts from the canonical
+// legitimate configuration advanced by 2j positions, so the privileges
+// begin staggered around the ring; pass custom starts via WithInstance
+// on the returned value before stepping if needed.
+func NewMultiSimulation(n, m int, d Daemon) *MultiSimulation {
+	alg := core.New(n, n+1)
+	multi := compose.New[core.State](alg, m)
+	parts := make([]statemodel.Config[core.State], m)
+	for j := range parts {
+		sim := statemodel.NewSimulator[core.State](alg, daemon.NewCentralLowest(), alg.InitialLegitimate())
+		sim.Run(3 * 2 * j % (3 * n))
+		parts[j] = sim.Config()
+	}
+	if d == nil {
+		d = CentralDaemon(1)
+	}
+	return &MultiSimulation{
+		alg:   alg,
+		multi: multi,
+		sim:   statemodel.NewSimulator[compose.MultiState[core.State]](multi, d, multi.Pack(parts...)),
+	}
+}
+
+// M returns the number of composed instances.
+func (ms *MultiSimulation) M() int { return ms.multi.M() }
+
+// Step performs one transition.
+func (ms *MultiSimulation) Step() (moved bool) {
+	_, ok := ms.sim.Step()
+	return ok
+}
+
+// Run performs up to maxSteps transitions.
+func (ms *MultiSimulation) Run(maxSteps int) int { return ms.sim.Run(maxSteps) }
+
+// Steps returns the number of transitions executed.
+func (ms *MultiSimulation) Steps() int { return ms.sim.Steps() }
+
+// Grants counts privilege grants with multiplicity — the (ℓ,k)-CS
+// measure; in the legitimate regime it is within [m, 2m].
+func (ms *MultiSimulation) Grants() int {
+	return ms.multi.Grants(ms.sim.Config(), core.HasToken)
+}
+
+// Holders returns the processes privileged in at least one instance.
+func (ms *MultiSimulation) Holders() []int {
+	return ms.multi.HoldersAny(ms.sim.Config(), core.HasToken)
+}
+
+// HoldersOf returns the privileged processes of instance j.
+func (ms *MultiSimulation) HoldersOf(j int) []int {
+	if j < 0 || j >= ms.multi.M() {
+		panic(fmt.Sprintf("ssrmin: instance %d out of range", j))
+	}
+	return ms.multi.HoldersOf(ms.sim.Config(), j, core.HasToken)
+}
+
+// Legitimate reports whether every instance is in its legitimate set.
+func (ms *MultiSimulation) Legitimate() bool {
+	for _, part := range ms.multi.Unpack(ms.sim.Config()) {
+		if !ms.alg.Legitimate(part) {
+			return false
+		}
+	}
+	return true
+}
+
+// InstanceConfigs returns the current per-instance configurations.
+func (ms *MultiSimulation) InstanceConfigs() []Config {
+	parts := ms.multi.Unpack(ms.sim.Config())
+	out := make([]Config, len(parts))
+	for i, p := range parts {
+		out[i] = Config(p)
+	}
+	return out
+}

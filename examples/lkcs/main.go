@@ -1,0 +1,78 @@
+// Lkcs demonstrates the (ℓ,k)-critical-section generalization the paper
+// situates itself in (reference [9]): composing m independent SSRmin
+// instances over one ring yields a system in which, at every instant,
+// between m and 2m privilege grants exist — a (m, 2m)-critical-section
+// solution. With m = 2 on six stations, for example, the fleet always has
+// 2–4 active grants: enough for one station to record while another
+// uploads, with graceful rotation of both roles.
+//
+// Run: go run ./examples/lkcs [-m 2] [-n 6] [-steps 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ssrmin"
+)
+
+func main() {
+	var (
+		m     = flag.Int("m", 2, "number of composed SSRmin instances (1..4)")
+		n     = flag.Int("n", 6, "ring size (≥ 3)")
+		steps = flag.Int("steps", 60, "transitions to trace")
+	)
+	flag.Parse()
+
+	sim := ssrmin.NewMultiSimulation(*n, *m, ssrmin.DistributedDaemon(1, 0.5))
+	fmt.Printf("(%d,%d)-critical section: %d SSRmin instances on %d processes\n\n",
+		*m, 2**m, *m, *n)
+	fmt.Printf("%-5s %-14s %-8s %s\n", "step", "grants", "holders", "per-instance privilege map")
+
+	minG, maxG := 1<<30, -1
+	for s := 0; s <= *steps; s++ {
+		g := sim.Grants()
+		if g < minG {
+			minG = g
+		}
+		if g > maxG {
+			maxG = g
+		}
+		if s%5 == 0 {
+			fmt.Printf("%-5d %-14s %-12s %s\n", s,
+				fmt.Sprintf("%d ∈ [%d,%d]", g, *m, 2**m), fmt.Sprint(sim.Holders()), lanes(sim, *n))
+		}
+		if !sim.Step() {
+			fmt.Fprintln(os.Stderr, "deadlock (impossible for SSRmin)")
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("\nobserved grants over %d steps: %d..%d (spec: %d..%d)\n",
+		*steps, minG, maxG, *m, 2**m)
+	if minG >= *m && maxG <= 2**m {
+		fmt.Println("→ the (m,2m)-critical-section bound held at every step.")
+	} else {
+		fmt.Println("→ bound violated — unexpected.")
+		os.Exit(1)
+	}
+}
+
+// lanes draws one character lane per instance: the processes privileged in
+// that instance are marked with the instance digit.
+func lanes(sim *ssrmin.MultiSimulation, n int) string {
+	var out []string
+	for j := 0; j < sim.M(); j++ {
+		lane := make([]byte, n)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, h := range sim.HoldersOf(j) {
+			lane[h] = byte('A' + j)
+		}
+		out = append(out, string(lane))
+	}
+	return strings.Join(out, " | ")
+}

@@ -1,0 +1,3 @@
+module ssrmin
+
+go 1.22

@@ -1,0 +1,83 @@
+// Package adversary searches for worst-case behaviours by local search:
+// given an algorithm, a daemon and a measure (e.g. steps to legitimacy),
+// it hill-climbs over initial configurations with random restarts to find
+// starts that are much worse than random sampling finds. The Theorem 2
+// experiment uses it to tighten the empirical convergence-time curve
+// toward the true worst case, which the exhaustive checker provides for
+// n ≤ 4 as ground truth.
+package adversary
+
+import (
+	"math/rand"
+
+	"ssrmin/internal/statemodel"
+)
+
+// Measure evaluates how "bad" an initial configuration is; larger is
+// worse. It must be deterministic for a given configuration (use a fixed
+// daemon seed inside).
+type Measure[S comparable] func(init statemodel.Config[S]) int
+
+// Options tunes the search.
+type Options struct {
+	// Restarts is the number of random restarts.
+	Restarts int
+	// Budget is the number of neighbor evaluations per restart.
+	Budget int
+	// Seed drives the search's randomness.
+	Seed int64
+}
+
+// Result is the best (worst-case) configuration found.
+type Result[S comparable] struct {
+	// Config is the worst initial configuration found.
+	Config statemodel.Config[S]
+	// Score is its measure.
+	Score int
+	// Evaluations counts measure invocations.
+	Evaluations int
+}
+
+// Search hill-climbs over configurations: starting from a random
+// configuration (drawn by draw), it repeatedly mutates one process's state
+// (via mutate) and keeps the mutant when the measure does not decrease.
+func Search[S comparable](
+	n int,
+	draw func(rng *rand.Rand) statemodel.Config[S],
+	mutate func(rng *rand.Rand, s S) S,
+	measure Measure[S],
+	opts Options,
+) Result[S] {
+	if opts.Restarts <= 0 {
+		opts.Restarts = 5
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best Result[S]
+	for restart := 0; restart < opts.Restarts; restart++ {
+		cur := draw(rng)
+		curScore := measure(cur)
+		best.Evaluations++
+		if best.Config == nil || curScore > best.Score {
+			best.Config = cur.Clone()
+			best.Score = curScore
+		}
+		for i := 0; i < opts.Budget; i++ {
+			cand := cur.Clone()
+			p := rng.Intn(n)
+			cand[p] = mutate(rng, cand[p])
+			score := measure(cand)
+			best.Evaluations++
+			if score >= curScore {
+				cur, curScore = cand, score
+				if score > best.Score {
+					best.Config = cand.Clone()
+					best.Score = score
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,127 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssrmin/internal/check"
+	"ssrmin/internal/core"
+	"ssrmin/internal/daemon"
+	"ssrmin/internal/statemodel"
+)
+
+func drawSSRmin(a *core.Algorithm) func(*rand.Rand) statemodel.Config[core.State] {
+	return func(rng *rand.Rand) statemodel.Config[core.State] {
+		c := make(statemodel.Config[core.State], a.N())
+		for i := range c {
+			c[i] = core.State{X: rng.Intn(a.K()), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+		}
+		return c
+	}
+}
+
+func mutateSSRmin(a *core.Algorithm) func(*rand.Rand, core.State) core.State {
+	return func(rng *rand.Rand, s core.State) core.State {
+		switch rng.Intn(3) {
+		case 0:
+			s.X = rng.Intn(a.K())
+		case 1:
+			s.RTS = !s.RTS
+		default:
+			s.TRA = !s.TRA
+		}
+		return s
+	}
+}
+
+// convergenceMeasure counts steps to legitimacy under a deterministic
+// adversarial daemon.
+func convergenceMeasure(a *core.Algorithm) Measure[core.State] {
+	return func(init statemodel.Config[core.State]) int {
+		d := daemon.NewRuleBiased(rand.New(rand.NewSource(7)),
+			core.RuleReadySecondary, core.RuleRecvSecondary, core.RuleFixNoG)
+		sim := statemodel.NewSimulator[core.State](a, d, init)
+		steps, ok := sim.RunUntil(a.Legitimate, a.ConvergenceStepBound())
+		if !ok {
+			return a.ConvergenceStepBound() + 1 // would contradict Theorem 2
+		}
+		return steps
+	}
+}
+
+// TestSearchBeatsRandomSampling verifies the hill climber finds worse
+// starts than the random baseline it embeds, and never exceeds the
+// theorem's budget.
+func TestSearchBeatsRandomSampling(t *testing.T) {
+	a := core.New(6, 7)
+	measure := convergenceMeasure(a)
+
+	// Random baseline: best of the same number of evaluations.
+	rng := rand.New(rand.NewSource(3))
+	draw := drawSSRmin(a)
+	randomBest := 0
+	const evals = 1000
+	for i := 0; i < evals; i++ {
+		if s := measure(draw(rng)); s > randomBest {
+			randomBest = s
+		}
+	}
+
+	res := Search[core.State](a.N(), draw, mutateSSRmin(a), measure,
+		Options{Restarts: 5, Budget: 199, Seed: 3})
+	if res.Evaluations != evals {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, evals)
+	}
+	if res.Score > a.ConvergenceStepBound() {
+		t.Fatalf("search found a non-converging start: %v", res.Config)
+	}
+	if res.Score < randomBest {
+		t.Fatalf("hill climb (%d) worse than random sampling (%d)", res.Score, randomBest)
+	}
+	t.Logf("n=6: random best %d steps, adversarial search %d steps", randomBest, res.Score)
+}
+
+// TestSearchApproachesExactWorstCase compares the search against the
+// model checker's exact worst case on n=3 (16 steps): the heuristic must
+// land within a reasonable factor — and must never exceed it under any
+// deterministic daemon choice (the exact value maximizes over ALL
+// daemons).
+func TestSearchApproachesExactWorstCase(t *testing.T) {
+	a := core.New(3, 4)
+	c := check.New[core.State](a, 0)
+	conv := c.CheckConvergence(a.Legitimate)
+	if !conv.Converges {
+		t.Fatal("base convergence broken")
+	}
+
+	res := Search[core.State](a.N(), drawSSRmin(a), mutateSSRmin(a),
+		convergenceMeasure(a), Options{Restarts: 10, Budget: 150, Seed: 1})
+	if res.Score > conv.WorstSteps {
+		t.Fatalf("search found %d steps, above the exact worst case %d — impossible", res.Score, conv.WorstSteps)
+	}
+	if res.Score < conv.WorstSteps/3 {
+		t.Errorf("search found only %d steps vs exact %d", res.Score, conv.WorstSteps)
+	}
+	t.Logf("n=3: search %d steps vs exact worst case %d", res.Score, conv.WorstSteps)
+}
+
+func TestSearchDefaults(t *testing.T) {
+	a := core.New(3, 4)
+	res := Search[core.State](a.N(), drawSSRmin(a), mutateSSRmin(a),
+		convergenceMeasure(a), Options{Seed: 2})
+	if res.Config == nil || res.Evaluations != 5*(200+1) {
+		t.Fatalf("defaults not applied: %+v", res)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	a := core.New(4, 5)
+	run := func() Result[core.State] {
+		return Search[core.State](a.N(), drawSSRmin(a), mutateSSRmin(a),
+			convergenceMeasure(a), Options{Restarts: 2, Budget: 50, Seed: 11})
+	}
+	r1, r2 := run(), run()
+	if r1.Score != r2.Score || !r1.Config.Equal(r2.Config) {
+		t.Fatal("same-seed searches diverged")
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"ssrmin/internal/statemodel"
+)
+
+// FuzzEnabledRule fuzzes the rule-selection and command logic over
+// arbitrary views, checking the structural invariants that every rule of
+// Algorithm 3 must preserve: rule numbers in range, X stays in [0, K),
+// no rule produces ⟨1.1⟩, only Rule 1 produces ⟨1.0⟩, and rules 2/4 are
+// the only ones that change X.
+func FuzzEnabledRule(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint8(3), uint8(17), uint8(42), true)
+	f.Add(uint8(255), uint8(1), uint8(128), false)
+	a := New(5, 7)
+	decode := func(b uint8) State {
+		return State{X: int(b>>2) % a.K(), RTS: b&1 != 0, TRA: b&2 != 0}
+	}
+	f.Fuzz(func(t *testing.T, selfB, predB, succB uint8, bottom bool) {
+		i := 1
+		if bottom {
+			i = 0
+		}
+		v := statemodel.View[State]{
+			I: i, N: a.N(),
+			Self: decode(selfB), Pred: decode(predB), Succ: decode(succB),
+		}
+		rule := a.EnabledRule(v)
+		if rule < 0 || rule > 5 {
+			t.Fatalf("rule %d out of range for %+v", rule, v)
+		}
+		if rule == 0 {
+			return
+		}
+		next := a.Apply(v, rule)
+		if next.X < 0 || next.X >= a.K() {
+			t.Fatalf("rule %d produced X=%d", rule, next.X)
+		}
+		if next.RTS && next.TRA {
+			t.Fatalf("rule %d produced ⟨1.1⟩ from %+v", rule, v)
+		}
+		if next.RTS && !next.TRA && rule != RuleReadySecondary {
+			t.Fatalf("rule %d produced ⟨1.0⟩", rule)
+		}
+		if next.X != v.Self.X && rule != RuleSendPrimary && rule != RuleFixG {
+			t.Fatalf("rule %d changed X", rule)
+		}
+	})
+}

@@ -1,0 +1,305 @@
+// Package cst implements the cached sensornet transform (CST) of Herman
+// (2003), reproduced as Algorithm 4 of the paper: the standard scheme that
+// executes a state-reading-model algorithm in a message-passing network.
+//
+// Each node keeps a cache Z_i[v_k] of every neighbor's local state. On
+// receipt of a ⟨state, q⟩ message it refreshes the cache entry, executes
+// at most one enabled rule against the cached neighborhood, and announces
+// its own (possibly updated) state to both neighbors; an interval timer
+// also re-announces the state periodically so that lost messages and
+// corrupted caches heal — the ingredient that preserves self-stabilization
+// in a lossy network.
+//
+// Token predicates are evaluated against the node's own state and its
+// *caches* — exactly the reading the model-gap discussion of Section 5 is
+// about: between a state update and the delivery of its announcement the
+// caches are incoherent, and a naive algorithm (plain Dijkstra SSToken)
+// passes through instants with zero token holders (Figure 11). SSRmin's
+// token conditions are designed so that some node always holds a token
+// through those transient periods (Theorem 3).
+package cst
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssrmin/internal/msgnet"
+	"ssrmin/internal/statemodel"
+)
+
+// Node is the CST wrapper of one process: an msgnet.Handler executing the
+// wrapped algorithm against cached neighbor states.
+type Node[S comparable] struct {
+	alg     statemodel.Algorithm[S]
+	id      int
+	n       int
+	state   S
+	cache   map[int]S // neighbor id -> cached state
+	refresh msgnet.Time
+
+	// Hold is the critical-section dwell time: how long the node sits on
+	// an enabled rule before executing it, modelling the application work
+	// a privileged node performs (e.g. the camera actively monitoring).
+	// Zero means execute synchronously on receipt, the literal Algorithm 4.
+	Hold        msgnet.Time
+	holdPending bool
+
+	// RuleExecutions counts rules executed by this node.
+	RuleExecutions int
+	// OnExecute, when non-nil, is invoked after the node executes a rule.
+	OnExecute func(now msgnet.Time, rule int)
+}
+
+const (
+	timerRefresh = 1
+	timerExecute = 2
+)
+
+// NewNode creates a CST node for process id of alg. Seed the caches with
+// SetCache before the simulation starts (NewRing does this for whole
+// rings).
+func NewNode[S comparable](alg statemodel.Algorithm[S], id int, init S, refresh msgnet.Time) *Node[S] {
+	if refresh <= 0 {
+		panic("cst: refresh interval must be positive")
+	}
+	return &Node[S]{
+		alg:     alg,
+		id:      id,
+		n:       alg.N(),
+		state:   init,
+		cache:   make(map[int]S, 2),
+		refresh: refresh,
+	}
+}
+
+// pred and succ return the ring neighbor ids.
+func (nd *Node[S]) pred() int { return (nd.id - 1 + nd.n) % nd.n }
+func (nd *Node[S]) succ() int { return (nd.id + 1) % nd.n }
+
+// State returns the node's current local state q_i.
+func (nd *Node[S]) State() S { return nd.state }
+
+// SetState overwrites the local state (fault injection).
+func (nd *Node[S]) SetState(s S) { nd.state = s }
+
+// Cache returns the cached state of neighbor k.
+func (nd *Node[S]) Cache(k int) S { return nd.cache[k] }
+
+// SetCache overwrites a cache entry (initialization or fault injection).
+// k must be a ring neighbor of the node.
+func (nd *Node[S]) SetCache(k int, s S) {
+	if k != nd.pred() && k != nd.succ() {
+		panic(fmt.Sprintf("cst: node %d has no neighbor %d", nd.id, k))
+	}
+	nd.cache[k] = s
+}
+
+// View builds the node's current view of the ring: its own state plus the
+// cached neighbor states. All guard evaluation and all token predicates of
+// the message-passing model go through this view.
+func (nd *Node[S]) View() statemodel.View[S] {
+	return statemodel.View[S]{
+		I:    nd.id,
+		N:    nd.n,
+		Self: nd.state,
+		Pred: nd.cache[nd.pred()],
+		Succ: nd.cache[nd.succ()],
+	}
+}
+
+// Start implements msgnet.Handler: announce the initial state and arm the
+// refresh timer with a random phase so nodes do not beat in lockstep.
+func (nd *Node[S]) Start(ctx *msgnet.Context) {
+	nd.announce(ctx)
+	phase := msgnet.Time(ctx.Rand().Float64()) * nd.refresh
+	ctx.After(phase, timerRefresh)
+}
+
+// Receive implements msgnet.Handler: Algorithm 4's message action.
+func (nd *Node[S]) Receive(ctx *msgnet.Context, from int, payload any) {
+	s, ok := payload.(S)
+	if !ok {
+		panic(fmt.Sprintf("cst: node %d received %T from %d", nd.id, payload, from))
+	}
+	if from != nd.pred() && from != nd.succ() {
+		panic(fmt.Sprintf("cst: node %d received from non-neighbor %d", nd.id, from))
+	}
+	nd.cache[from] = s
+	nd.executeOne(ctx)
+	nd.announce(ctx)
+}
+
+// Timer implements msgnet.Handler: periodic re-announcement and deferred
+// rule execution after the critical-section dwell.
+func (nd *Node[S]) Timer(ctx *msgnet.Context, kind int) {
+	switch kind {
+	case timerRefresh:
+		nd.announce(ctx)
+		ctx.After(nd.refresh, timerRefresh)
+	case timerExecute:
+		nd.holdPending = false
+		nd.executeNow(ctx)
+		nd.announce(ctx)
+	}
+}
+
+// executeOne runs at most one enabled rule against the cached view, either
+// immediately (Hold == 0) or after the dwell time.
+func (nd *Node[S]) executeOne(ctx *msgnet.Context) {
+	if nd.Hold <= 0 {
+		nd.executeNow(ctx)
+		return
+	}
+	if nd.holdPending {
+		return
+	}
+	if nd.alg.EnabledRule(nd.View()) != 0 {
+		nd.holdPending = true
+		ctx.After(nd.Hold, timerExecute)
+	}
+}
+
+// executeNow evaluates and applies the enabled rule, if any, against the
+// current cached view.
+func (nd *Node[S]) executeNow(ctx *msgnet.Context) {
+	v := nd.View()
+	rule := nd.alg.EnabledRule(v)
+	if rule == 0 {
+		return
+	}
+	nd.state = nd.alg.Apply(v, rule)
+	nd.RuleExecutions++
+	if nd.OnExecute != nil {
+		nd.OnExecute(ctx.Now(), rule)
+	}
+}
+
+// announce sends the current state to both neighbors (busy links swallow
+// the send, per the one-message-per-direction link model).
+func (nd *Node[S]) announce(ctx *msgnet.Context) {
+	ctx.Send(nd.pred(), nd.state)
+	ctx.Send(nd.succ(), nd.state)
+}
+
+// Ring wires n CST nodes into a bidirectional ring over an msgnet
+// simulation.
+type Ring[S comparable] struct {
+	// Net is the underlying event simulation; run it to advance time.
+	Net *msgnet.Network
+	// Nodes holds the CST nodes, indexed by process id.
+	Nodes []*Node[S]
+}
+
+// Options configures NewRing.
+type Options[S comparable] struct {
+	// Link is the parameter set of every directed ring link.
+	Link msgnet.LinkParams
+	// Refresh is the period of the cache-refresh timer.
+	Refresh msgnet.Time
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Hold is the critical-section dwell time applied to every node (see
+	// Node.Hold).
+	Hold msgnet.Time
+	// CoherentCaches, when true, seeds every cache with the neighbor's
+	// true initial state (the "legitimate configuration with
+	// cache-coherence" hypothesis of Theorem 3). When false, caches are
+	// seeded with random states drawn via RandomState (arbitrary bad
+	// incoherence, the Theorem 4 setting); if RandomState is nil the
+	// node's own state is used instead.
+	CoherentCaches bool
+	// RandomState draws an arbitrary state for incoherent cache seeding.
+	RandomState func(rng *rand.Rand) S
+}
+
+// NewRing builds the network, one node per entry of init.
+func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S], opts Options[S]) *Ring[S] {
+	n := alg.N()
+	if len(init) != n {
+		panic(fmt.Sprintf("cst: init length %d != n %d", len(init), n))
+	}
+	nodes := make([]*Node[S], n)
+	handlers := make([]msgnet.Handler, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode[S](alg, i, init[i], opts.Refresh)
+		nodes[i].Hold = opts.Hold
+		handlers[i] = nodes[i]
+	}
+	net := msgnet.New(handlers, opts.Seed)
+	net.RingLinks(opts.Link)
+	seedRNG := rand.New(rand.NewSource(opts.Seed + 1))
+	for i, nd := range nodes {
+		p, s := (i-1+n)%n, (i+1)%n
+		if opts.CoherentCaches {
+			nd.SetCache(p, init[p])
+			nd.SetCache(s, init[s])
+		} else {
+			nd.SetCache(p, drawState(seedRNG, opts, init[i]))
+			nd.SetCache(s, drawState(seedRNG, opts, init[i]))
+		}
+	}
+	return &Ring[S]{Net: net, Nodes: nodes}
+}
+
+func drawState[S comparable](rng *rand.Rand, opts Options[S], fallback S) S {
+	if opts.RandomState != nil {
+		return opts.RandomState(rng)
+	}
+	return fallback
+}
+
+// Census counts the nodes for which holder is true on their cached view —
+// the number of token holders as the nodes themselves perceive it, which
+// is the quantity Theorem 3 bounds.
+func (r *Ring[S]) Census(holder func(statemodel.View[S]) bool) int {
+	count := 0
+	for _, nd := range r.Nodes {
+		if holder(nd.View()) {
+			count++
+		}
+	}
+	return count
+}
+
+// Holders returns the ids of nodes whose cached view satisfies holder.
+func (r *Ring[S]) Holders(holder func(statemodel.View[S]) bool) []int {
+	var out []int
+	for i, nd := range r.Nodes {
+		if holder(nd.View()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// States returns the vector of true local states (a configuration in the
+// state-reading sense, ignoring caches).
+func (r *Ring[S]) States() statemodel.Config[S] {
+	cfg := make(statemodel.Config[S], len(r.Nodes))
+	for i, nd := range r.Nodes {
+		cfg[i] = nd.State()
+	}
+	return cfg
+}
+
+// Coherent reports whether every cache equals the neighbor's true state
+// (Definition 2).
+func (r *Ring[S]) Coherent() bool {
+	n := len(r.Nodes)
+	for i, nd := range r.Nodes {
+		p, s := (i-1+n)%n, (i+1)%n
+		if nd.Cache(p) != r.Nodes[p].State() || nd.Cache(s) != r.Nodes[s].State() {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleExecutions sums rule executions across all nodes.
+func (r *Ring[S]) RuleExecutions() int {
+	total := 0
+	for _, nd := range r.Nodes {
+		total += nd.RuleExecutions
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+// Package fault injects the transient faults that self-stabilization
+// tolerates: corruption of local states (soft errors), corruption of
+// neighbor caches (message corruption absorbed into Z_i), and message-loss
+// bursts on the network. All injection is deterministic from a seed so
+// that every experiment is reproducible.
+package fault
+
+import (
+	"math/rand"
+
+	"ssrmin/internal/cst"
+	"ssrmin/internal/msgnet"
+	"ssrmin/internal/statemodel"
+)
+
+// Injector is a seeded source of faults.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// NewInjector returns an injector with its own RNG stream.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the injector's RNG for custom draw functions.
+func (in *Injector) Rand() *rand.Rand { return in.rng }
+
+// CorruptConfig overwrites count distinct random entries of cfg with
+// states drawn by draw. It mutates cfg in place and returns the indices
+// hit. count is clamped to len(cfg).
+func CorruptConfig[S comparable](in *Injector, cfg statemodel.Config[S], count int, draw func(*rand.Rand) S) []int {
+	if count > len(cfg) {
+		count = len(cfg)
+	}
+	perm := in.rng.Perm(len(cfg))[:count]
+	for _, i := range perm {
+		cfg[i] = draw(in.rng)
+	}
+	return perm
+}
+
+// CorruptStates overwrites the local states of count random nodes of a CST
+// ring.
+func CorruptStates[S comparable](in *Injector, r *cst.Ring[S], count int, draw func(*rand.Rand) S) []int {
+	if count > len(r.Nodes) {
+		count = len(r.Nodes)
+	}
+	perm := in.rng.Perm(len(r.Nodes))[:count]
+	for _, i := range perm {
+		r.Nodes[i].SetState(draw(in.rng))
+	}
+	return perm
+}
+
+// CorruptCaches overwrites count random cache entries (a random neighbor
+// cache of a random node each) of a CST ring.
+func CorruptCaches[S comparable](in *Injector, r *cst.Ring[S], count int, draw func(*rand.Rand) S) {
+	n := len(r.Nodes)
+	for j := 0; j < count; j++ {
+		i := in.rng.Intn(n)
+		var k int
+		if in.rng.Intn(2) == 0 {
+			k = (i - 1 + n) % n
+		} else {
+			k = (i + 1) % n
+		}
+		r.Nodes[i].SetCache(k, draw(in.rng))
+	}
+}
+
+// LossBurst is an msgnet handler (attach it as an extra, link-less node)
+// that alternates the network between lossless phases and bursts during
+// which the configured per-link LossProb applies. It models an interferer
+// that periodically jams the radio.
+type LossBurst struct {
+	// Net is the network whose LossEnabled gate is toggled.
+	Net *msgnet.Network
+	// Quiet is the duration of each lossless phase.
+	Quiet msgnet.Time
+	// Burst is the duration of each lossy phase.
+	Burst msgnet.Time
+}
+
+const (
+	timerStartBurst = 1
+	timerEndBurst   = 2
+)
+
+// Start implements msgnet.Handler.
+func (lb *LossBurst) Start(ctx *msgnet.Context) {
+	lb.Net.LossEnabled = false
+	ctx.After(lb.Quiet, timerStartBurst)
+}
+
+// Receive implements msgnet.Handler; a LossBurst node has no links.
+func (lb *LossBurst) Receive(ctx *msgnet.Context, from int, payload any) {}
+
+// Timer implements msgnet.Handler.
+func (lb *LossBurst) Timer(ctx *msgnet.Context, kind int) {
+	switch kind {
+	case timerStartBurst:
+		lb.Net.LossEnabled = true
+		ctx.After(lb.Burst, timerEndBurst)
+	case timerEndBurst:
+		lb.Net.LossEnabled = false
+		ctx.After(lb.Quiet, timerStartBurst)
+	}
+}

@@ -1,0 +1,409 @@
+// Package msgnet is a deterministic discrete-event simulator for
+// asynchronous message-passing networks, the substrate of Section 5 of the
+// paper. Nodes exchange messages over directed links with configurable
+// propagation delay, jitter, loss and duplication; nodes also set local
+// timers. Every source of nondeterminism draws from one seeded RNG, so a
+// simulation is a pure function of (topology, handlers, seed).
+//
+// The paper's link model is honored: "each communication link can transmit
+// only one message in each direction at a time — a node v_i can send a
+// message to v_j only if there is no message transiting on the link." A
+// Send while the link is busy is therefore silently dropped (the result is
+// reported so callers can count suppressions). This back-pressure is what
+// keeps the cached sensornet transform's echo storm finite.
+package msgnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in seconds.
+type Time float64
+
+// LinkParams configures one directed link.
+type LinkParams struct {
+	// Delay is the base propagation delay of a message.
+	Delay Time
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter Time
+	// LossProb is the probability that a message is lost in transit.
+	LossProb float64
+	// DupProb is the probability that a message is delivered twice (the
+	// duplicate arrives after an extra jitter draw).
+	DupProb float64
+	// CorruptProb is the probability that a message is delivered with a
+	// corrupted payload, produced by the network's Corrupt hook. Without a
+	// hook, corruption degenerates to loss.
+	CorruptProb float64
+}
+
+// Handler is the behaviour of one node.
+type Handler interface {
+	// Start runs once at time zero, before any delivery.
+	Start(ctx *Context)
+	// Receive runs on each message delivery.
+	Receive(ctx *Context, from int, payload any)
+	// Timer runs when a timer set via Context.After fires.
+	Timer(ctx *Context, kind int)
+}
+
+// Context is the interface a handler uses to interact with the network. A
+// Context is only valid for the duration of the callback it is passed to.
+type Context struct {
+	net  *Network
+	node int
+}
+
+// ID returns the node's index.
+func (c *Context) ID() int { return c.node }
+
+// Now returns the current simulated time.
+func (c *Context) Now() Time { return c.net.now }
+
+// Rand returns the simulation RNG (shared, deterministic).
+func (c *Context) Rand() *rand.Rand { return c.net.rng }
+
+// N returns the number of nodes.
+func (c *Context) N() int { return len(c.net.handlers) }
+
+// Send transmits payload to node `to` over the configured link. It
+// reports whether the message entered the link: false when no link exists,
+// when the link is still busy with an earlier message (the paper's
+// one-message-per-direction rule), or when the loss coin eats it.
+func (c *Context) Send(to int, payload any) bool {
+	return c.net.send(c.node, to, payload)
+}
+
+// After schedules a timer callback for the node after d time units. Kind
+// is handed back to the Timer callback.
+func (c *Context) After(d Time, kind int) {
+	if d < 0 {
+		panic("msgnet: negative timer delay")
+	}
+	c.net.push(&event{
+		at:    c.net.now + d,
+		kind:  evTimer,
+		node:  c.node,
+		tkind: kind,
+	})
+}
+
+type evKind uint8
+
+const (
+	evTimer evKind = iota
+	evDeliver
+)
+
+type event struct {
+	at    Time
+	seq   uint64 // tiebreaker for determinism
+	kind  evKind
+	node  int // destination node
+	from  int // sender (evDeliver)
+	tkind int // timer kind (evTimer)
+	load  any // payload (evDeliver)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type link struct {
+	params LinkParams
+	// busyUntil is the delivery time of the message currently in transit;
+	// the link accepts a new message only when now >= busyUntil.
+	busyUntil Time
+	// down marks an outage: every send is dropped while true.
+	down bool
+}
+
+// TapKind classifies a TapEvent.
+type TapKind uint8
+
+// Tap event kinds.
+const (
+	// TapSend: a message entered a link (From -> Node).
+	TapSend TapKind = iota
+	// TapSuppressed: a send was refused because the link was busy.
+	TapSuppressed
+	// TapLost: the loss coin (or a cut link) ate a message.
+	TapLost
+	// TapCorrupted: the corruption coin hit a message.
+	TapCorrupted
+	// TapDeliver: a message was delivered (From -> Node).
+	TapDeliver
+	// TapTimer: a timer fired at Node.
+	TapTimer
+)
+
+// String returns a short mnemonic.
+func (k TapKind) String() string {
+	switch k {
+	case TapSend:
+		return "send"
+	case TapSuppressed:
+		return "suppressed"
+	case TapLost:
+		return "lost"
+	case TapCorrupted:
+		return "corrupted"
+	case TapDeliver:
+		return "deliver"
+	case TapTimer:
+		return "timer"
+	}
+	return "unknown"
+}
+
+// TapEvent is one network-level action.
+type TapEvent struct {
+	// At is the simulated time of the action.
+	At Time
+	// Kind classifies it.
+	Kind TapKind
+	// Node is the acting/receiving node; From the sender where relevant.
+	Node, From int
+}
+
+func (n *Network) tap(e TapEvent) {
+	if n.Tap != nil {
+		n.Tap(e)
+	}
+}
+
+// Stats counts network-level events.
+type Stats struct {
+	// Sent counts messages accepted onto a link.
+	Sent int
+	// Suppressed counts sends refused because the link was busy.
+	Suppressed int
+	// Lost counts messages eaten by the loss coin.
+	Lost int
+	// Duplicated counts extra deliveries from the duplication coin.
+	Duplicated int
+	// Corrupted counts messages hit by the corruption coin.
+	Corrupted int
+	// Delivered counts Receive callbacks.
+	Delivered int
+	// Timers counts Timer callbacks.
+	Timers int
+}
+
+// Network is a discrete-event simulation instance.
+type Network struct {
+	handlers []Handler
+	links    map[[2]int]*link
+	pq       eventHeap
+	now      Time
+	seq      uint64
+	rng      *rand.Rand
+	started  bool
+
+	// Observer, when non-nil, runs after every processed event (and once
+	// after all Start callbacks). Observers read global state through the
+	// handlers, e.g. to record token-count timelines.
+	Observer func(now Time)
+
+	// LossEnabled gates the LossProb coins; fault schedules flip it.
+	LossEnabled bool
+
+	// Tap, when non-nil, receives a TapEvent for every network-level
+	// action (send, suppression, loss, corruption, delivery, timer) — the
+	// feed for space-time diagrams and debugging.
+	Tap func(TapEvent)
+
+	// Corrupt, when non-nil, rewrites a payload hit by a CorruptProb coin
+	// (e.g. into a random state). When nil, corrupted messages are
+	// dropped instead — a checksum would have rejected them anyway.
+	Corrupt func(rng *rand.Rand, payload any) any
+
+	stats Stats
+}
+
+// New creates a network of the given handlers with no links. Seed fixes
+// all randomness.
+func New(handlers []Handler, seed int64) *Network {
+	return &Network{
+		handlers:    handlers,
+		links:       make(map[[2]int]*link),
+		rng:         rand.New(rand.NewSource(seed)),
+		LossEnabled: true,
+	}
+}
+
+// AddNode appends an extra handler (e.g. a fault controller with no
+// links) and returns its node id. It must be called before the simulation
+// starts.
+func (n *Network) AddNode(h Handler) int {
+	if n.started {
+		panic("msgnet: AddNode after start")
+	}
+	n.handlers = append(n.handlers, h)
+	return len(n.handlers) - 1
+}
+
+// AddLink installs a directed link from a to b.
+func (n *Network) AddLink(a, b int, p LinkParams) {
+	if p.Delay < 0 || p.Jitter < 0 || p.LossProb < 0 || p.LossProb > 1 ||
+		p.DupProb < 0 || p.DupProb > 1 || p.CorruptProb < 0 || p.CorruptProb > 1 {
+		panic(fmt.Sprintf("msgnet: bad link params %+v", p))
+	}
+	n.links[[2]int{a, b}] = &link{params: p}
+}
+
+// RingLinks installs bidirectional ring links between consecutive nodes
+// with identical parameters.
+func (n *Network) RingLinks(p LinkParams) {
+	size := len(n.handlers)
+	for i := 0; i < size; i++ {
+		j := (i + 1) % size
+		n.AddLink(i, j, p)
+		n.AddLink(j, i, p)
+	}
+}
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Now returns current simulated time.
+func (n *Network) Now() Time { return n.now }
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.pq, e)
+}
+
+// SetLinkUp raises or cuts the directed link from a to b. Messages sent
+// into a cut link are dropped (and counted as lost). Cutting both
+// directions of one ring edge simulates a cable cut / radio outage.
+func (n *Network) SetLinkUp(a, b int, up bool) {
+	l, ok := n.links[[2]int{a, b}]
+	if !ok {
+		panic(fmt.Sprintf("msgnet: no link %d->%d", a, b))
+	}
+	l.down = !up
+}
+
+func (n *Network) send(from, to int, payload any) bool {
+	l, ok := n.links[[2]int{from, to}]
+	if !ok {
+		return false
+	}
+	if l.down {
+		n.stats.Lost++
+		n.tap(TapEvent{At: n.now, Kind: TapLost, Node: to, From: from})
+		return false
+	}
+	if n.now < l.busyUntil {
+		n.stats.Suppressed++
+		n.tap(TapEvent{At: n.now, Kind: TapSuppressed, Node: to, From: from})
+		return false
+	}
+	if n.LossEnabled && l.params.LossProb > 0 && n.rng.Float64() < l.params.LossProb {
+		// The message occupies the link for its nominal flight time even
+		// though it will never arrive (the medium was busy transmitting
+		// garbage).
+		n.stats.Lost++
+		n.tap(TapEvent{At: n.now, Kind: TapLost, Node: to, From: from})
+		l.busyUntil = n.now + l.params.Delay + n.jitter(l)
+		return false
+	}
+	if l.params.CorruptProb > 0 && n.rng.Float64() < l.params.CorruptProb {
+		n.stats.Corrupted++
+		n.tap(TapEvent{At: n.now, Kind: TapCorrupted, Node: to, From: from})
+		if n.Corrupt == nil {
+			// No corruption hook: model a checksum that discards the
+			// damaged frame (it still occupied the medium).
+			l.busyUntil = n.now + l.params.Delay + n.jitter(l)
+			return false
+		}
+		payload = n.Corrupt(n.rng, payload)
+	}
+	at := n.now + l.params.Delay + n.jitter(l)
+	l.busyUntil = at
+	n.push(&event{at: at, kind: evDeliver, node: to, from: from, load: payload})
+	n.stats.Sent++
+	n.tap(TapEvent{At: n.now, Kind: TapSend, Node: to, From: from})
+	if l.params.DupProb > 0 && n.rng.Float64() < l.params.DupProb {
+		n.push(&event{at: at + n.jitter(l), kind: evDeliver, node: to, from: from, load: payload})
+		n.stats.Duplicated++
+	}
+	return true
+}
+
+func (n *Network) jitter(l *link) Time {
+	if l.params.Jitter <= 0 {
+		return 0
+	}
+	return Time(n.rng.Float64()) * l.params.Jitter
+}
+
+// start invokes Start on every handler (once).
+func (n *Network) start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	for i, h := range n.handlers {
+		h.Start(&Context{net: n, node: i})
+	}
+	if n.Observer != nil {
+		n.Observer(n.now)
+	}
+}
+
+// Step processes the next event. It reports false when the queue is empty.
+func (n *Network) Step() bool {
+	n.start()
+	if n.pq.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.pq).(*event)
+	if e.at < n.now {
+		panic("msgnet: event in the past")
+	}
+	n.now = e.at
+	ctx := &Context{net: n, node: e.node}
+	switch e.kind {
+	case evDeliver:
+		n.stats.Delivered++
+		n.tap(TapEvent{At: n.now, Kind: TapDeliver, Node: e.node, From: e.from})
+		n.handlers[e.node].Receive(ctx, e.from, e.load)
+	case evTimer:
+		n.stats.Timers++
+		n.tap(TapEvent{At: n.now, Kind: TapTimer, Node: e.node})
+		n.handlers[e.node].Timer(ctx, e.tkind)
+	}
+	if n.Observer != nil {
+		n.Observer(n.now)
+	}
+	return true
+}
+
+// Run processes events until simulated time exceeds until or the event
+// queue drains. It returns the number of events processed.
+func (n *Network) Run(until Time) int {
+	n.start()
+	count := 0
+	for n.pq.Len() > 0 && n.pq[0].at <= until {
+		n.Step()
+		count++
+	}
+	if n.now < until {
+		n.now = until
+	}
+	return count
+}

@@ -1,0 +1,345 @@
+package msgnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// echoNode records deliveries and timers; on Start it optionally sends a
+// payload and arms a timer.
+type echoNode struct {
+	sendTo    int
+	payload   any
+	timerIn   Time
+	received  []any
+	from      []int
+	timerHits int
+	times     []Time
+}
+
+func (e *echoNode) Start(ctx *Context) {
+	if e.payload != nil {
+		ctx.Send(e.sendTo, e.payload)
+	}
+	if e.timerIn > 0 {
+		ctx.After(e.timerIn, 7)
+	}
+}
+
+func (e *echoNode) Receive(ctx *Context, from int, payload any) {
+	e.received = append(e.received, payload)
+	e.from = append(e.from, from)
+	e.times = append(e.times, ctx.Now())
+}
+
+func (e *echoNode) Timer(ctx *Context, kind int) {
+	if kind == 7 {
+		e.timerHits++
+	}
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	a := &echoNode{sendTo: 1, payload: "hi"}
+	b := &echoNode{}
+	net := New([]Handler{a, b}, 1)
+	net.AddLink(0, 1, LinkParams{Delay: 0.5})
+	net.Run(10)
+	if len(b.received) != 1 || b.received[0] != "hi" {
+		t.Fatalf("received %v", b.received)
+	}
+	if b.from[0] != 0 {
+		t.Errorf("from = %d", b.from[0])
+	}
+	if b.times[0] != 0.5 {
+		t.Errorf("delivered at %v, want 0.5", b.times[0])
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNoLinkNoDelivery(t *testing.T) {
+	a := &echoNode{sendTo: 1, payload: "x"}
+	b := &echoNode{}
+	net := New([]Handler{a, b}, 1)
+	net.Run(10)
+	if len(b.received) != 0 {
+		t.Fatalf("received %v without a link", b.received)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	a := &echoNode{timerIn: 2}
+	net := New([]Handler{a}, 1)
+	net.Run(10)
+	if a.timerHits != 1 {
+		t.Errorf("timer hits = %d", a.timerHits)
+	}
+	if net.Stats().Timers != 1 {
+		t.Errorf("stats.Timers = %d", net.Stats().Timers)
+	}
+}
+
+// chattyNode sends k messages back-to-back at start.
+type chattyNode struct {
+	to, k int
+	got   int
+}
+
+func (c *chattyNode) Start(ctx *Context) {
+	for i := 0; i < c.k; i++ {
+		ctx.Send(c.to, i)
+	}
+}
+func (c *chattyNode) Receive(ctx *Context, from int, payload any) { c.got++ }
+func (c *chattyNode) Timer(ctx *Context, kind int)                {}
+
+func TestBusyLinkSuppressesSends(t *testing.T) {
+	// Five instantaneous sends at t=0 on a link with delay: only the first
+	// may enter; the rest are suppressed (one message per direction).
+	a := &chattyNode{to: 1, k: 5}
+	b := &chattyNode{}
+	net := New([]Handler{a, b}, 1)
+	net.AddLink(0, 1, LinkParams{Delay: 1})
+	net.Run(10)
+	st := net.Stats()
+	if st.Sent != 1 || st.Suppressed != 4 {
+		t.Fatalf("stats = %+v, want 1 sent / 4 suppressed", st)
+	}
+	if b.got != 1 {
+		t.Errorf("b received %d", b.got)
+	}
+}
+
+func TestZeroDelayLinkIsNotBusy(t *testing.T) {
+	// With zero delay the link frees instantly, so all sends pass.
+	a := &chattyNode{to: 1, k: 3}
+	b := &chattyNode{}
+	net := New([]Handler{a, b}, 1)
+	net.AddLink(0, 1, LinkParams{})
+	net.Run(10)
+	if b.got != 3 {
+		t.Errorf("b received %d, want 3", b.got)
+	}
+}
+
+func TestLossAndGate(t *testing.T) {
+	a := &chattyNode{to: 1, k: 1}
+	b := &chattyNode{}
+	net := New([]Handler{a, b}, 3)
+	net.AddLink(0, 1, LinkParams{LossProb: 1})
+	net.Run(10)
+	if b.got != 0 || net.Stats().Lost != 1 {
+		t.Fatalf("loss failed: got=%d stats=%+v", b.got, net.Stats())
+	}
+
+	// Gate off: same topology, loss disabled.
+	a2 := &chattyNode{to: 1, k: 1}
+	b2 := &chattyNode{}
+	net2 := New([]Handler{a2, b2}, 3)
+	net2.AddLink(0, 1, LinkParams{LossProb: 1})
+	net2.LossEnabled = false
+	net2.Run(10)
+	if b2.got != 1 {
+		t.Fatalf("LossEnabled=false still lost the message")
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	a := &chattyNode{to: 1, k: 1}
+	b := &chattyNode{}
+	net := New([]Handler{a, b}, 5)
+	net.AddLink(0, 1, LinkParams{Delay: 1, DupProb: 1})
+	net.Run(10)
+	if b.got != 2 || net.Stats().Duplicated != 1 {
+		t.Fatalf("dup failed: got=%d stats=%+v", b.got, net.Stats())
+	}
+}
+
+func TestRingLinks(t *testing.T) {
+	nodes := []Handler{&echoNode{}, &echoNode{}, &echoNode{}}
+	net := New(nodes, 1)
+	net.RingLinks(LinkParams{Delay: 0.1})
+	if len(net.links) != 6 {
+		t.Errorf("ring of 3 has %d directed links, want 6", len(net.links))
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) (Stats, Time) {
+		a := &echoNode{sendTo: 1, payload: 1, timerIn: 0.3}
+		b := &echoNode{sendTo: 0, payload: 2, timerIn: 0.7}
+		net := New([]Handler{a, b}, seed)
+		net.AddLink(0, 1, LinkParams{Delay: 0.2, Jitter: 0.3, LossProb: 0.2})
+		net.AddLink(1, 0, LinkParams{Delay: 0.2, Jitter: 0.3, LossProb: 0.2})
+		net.Run(5)
+		return net.Stats(), net.Now()
+	}
+	s1, t1 := run(42)
+	s2, t2 := run(42)
+	if s1 != s2 || t1 != t2 {
+		t.Errorf("same seed diverged: %+v@%v vs %+v@%v", s1, t1, s2, t2)
+	}
+}
+
+func TestObserverRunsPerEvent(t *testing.T) {
+	a := &echoNode{sendTo: 1, payload: "m", timerIn: 1}
+	b := &echoNode{}
+	net := New([]Handler{a, b}, 1)
+	net.AddLink(0, 1, LinkParams{Delay: 0.5})
+	obs := 0
+	net.Observer = func(now Time) { obs++ }
+	net.Run(10)
+	// One observation after Start + one per event (delivery + timer).
+	if obs != 3 {
+		t.Errorf("observer ran %d times, want 3", obs)
+	}
+}
+
+func TestRunAdvancesClockToHorizon(t *testing.T) {
+	net := New([]Handler{&echoNode{}}, 1)
+	net.Run(42)
+	if net.Now() != 42 {
+		t.Errorf("Now = %v, want 42", net.Now())
+	}
+}
+
+func TestEventOrderDeterministicTies(t *testing.T) {
+	// Two timers at the same instant fire in scheduling order.
+	var order []int
+	a := &funcNode{start: func(ctx *Context) { ctx.After(1, 0) }, timer: func(ctx *Context, _ int) { order = append(order, ctx.ID()) }}
+	b := &funcNode{start: func(ctx *Context) { ctx.After(1, 0) }, timer: func(ctx *Context, _ int) { order = append(order, ctx.ID()) }}
+	net := New([]Handler{a, b}, 1)
+	net.Run(2)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("tie order = %v", order)
+	}
+}
+
+func TestBadLinkParamsPanic(t *testing.T) {
+	net := New([]Handler{&echoNode{}, &echoNode{}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddLink accepted LossProb=2")
+		}
+	}()
+	net.AddLink(0, 1, LinkParams{LossProb: 2})
+}
+
+func TestNegativeTimerPanics(t *testing.T) {
+	a := &funcNode{start: func(ctx *Context) { ctx.After(-1, 0) }}
+	net := New([]Handler{a}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative timer accepted")
+		}
+	}()
+	net.Run(1)
+}
+
+type funcNode struct {
+	start func(*Context)
+	recv  func(*Context, int, any)
+	timer func(*Context, int)
+}
+
+func (f *funcNode) Start(ctx *Context) {
+	if f.start != nil {
+		f.start(ctx)
+	}
+}
+func (f *funcNode) Receive(ctx *Context, from int, payload any) {
+	if f.recv != nil {
+		f.recv(ctx, from, payload)
+	}
+}
+func (f *funcNode) Timer(ctx *Context, kind int) {
+	if f.timer != nil {
+		f.timer(ctx, kind)
+	}
+}
+
+func TestCorruptionDropMode(t *testing.T) {
+	// Without a Corrupt hook, corrupted frames are discarded (checksum
+	// model) and still occupy the medium.
+	a := &chattyNode{to: 1, k: 1}
+	b := &chattyNode{}
+	net := New([]Handler{a, b}, 7)
+	net.AddLink(0, 1, LinkParams{Delay: 1, CorruptProb: 1})
+	net.Run(10)
+	if b.got != 0 {
+		t.Fatalf("corrupted frame delivered without a hook: got=%d", b.got)
+	}
+	if net.Stats().Corrupted != 1 {
+		t.Fatalf("stats = %+v", net.Stats())
+	}
+}
+
+func TestCorruptionHookRewritesPayload(t *testing.T) {
+	a := &echoNode{sendTo: 1, payload: 100}
+	b := &echoNode{}
+	net := New([]Handler{a, b}, 7)
+	net.AddLink(0, 1, LinkParams{Delay: 0.1, CorruptProb: 1})
+	net.Corrupt = func(rng *rand.Rand, payload any) any { return payload.(int) + 1 }
+	net.Run(10)
+	if len(b.received) != 1 || b.received[0] != 101 {
+		t.Fatalf("received %v, want corrupted 101", b.received)
+	}
+	if net.Stats().Corrupted != 1 || net.Stats().Sent != 1 {
+		t.Fatalf("stats = %+v", net.Stats())
+	}
+}
+
+func TestCorruptProbValidation(t *testing.T) {
+	net := New([]Handler{&echoNode{}, &echoNode{}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddLink accepted CorruptProb=-1")
+		}
+	}()
+	net.AddLink(0, 1, LinkParams{CorruptProb: -1})
+}
+
+func TestAddNodeAfterStartPanics(t *testing.T) {
+	net := New([]Handler{&echoNode{}}, 1)
+	net.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode after start accepted")
+		}
+	}()
+	net.AddNode(&echoNode{})
+}
+
+func TestLinkOutage(t *testing.T) {
+	a := &chattyNode{to: 1, k: 1}
+	b := &chattyNode{}
+	net := New([]Handler{a, b}, 1)
+	net.AddLink(0, 1, LinkParams{Delay: 0.1})
+	net.SetLinkUp(0, 1, false)
+	net.Run(5)
+	if b.got != 0 || net.Stats().Lost != 1 {
+		t.Fatalf("outage failed: got=%d stats=%+v", b.got, net.Stats())
+	}
+	// Raise the link again; a fresh sender gets through.
+	net.SetLinkUp(0, 1, true)
+	c2 := &Context{net: net, node: 0}
+	if !c2.Send(1, "late") {
+		t.Fatal("send after outage failed")
+	}
+	net.Run(10)
+	if b.got != 1 {
+		t.Fatalf("post-outage delivery failed: got=%d", b.got)
+	}
+}
+
+func TestSetLinkUpUnknownPanics(t *testing.T) {
+	net := New([]Handler{&echoNode{}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLinkUp on missing link accepted")
+		}
+	}()
+	net.SetLinkUp(0, 1, false)
+}

@@ -1,0 +1,104 @@
+// Package parsweep runs embarrassingly parallel parameter sweeps — the
+// Monte Carlo convergence experiments and benchmark grids — across a
+// bounded worker pool while keeping results deterministic: every trial
+// receives its own index-derived seed, and results come back in input
+// order regardless of scheduling.
+package parsweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map runs f(i) for i in [0, n) on up to workers goroutines and returns
+// the results in index order. workers ≤ 0 selects GOMAXPROCS. Panics in f
+// are propagated to the caller (first one wins).
+func Map[R any](n, workers int, f func(i int) R) []R {
+	if n < 0 {
+		panic("parsweep: negative trial count")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+
+	var (
+		wg       sync.WaitGroup
+		next     int
+		nextMu   sync.Mutex
+		panicVal any
+		panicMu  sync.Mutex
+	)
+	grab := func() (int, bool) {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = fmt.Sprintf("parsweep: trial %d panicked: %v", i, r)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}
+
+// Sum runs f(i) in parallel and folds the float64 results.
+func Sum(n, workers int, f func(i int) float64) float64 {
+	total := 0.0
+	for _, v := range Map(n, workers, f) {
+		total += v
+	}
+	return total
+}
+
+// Grid is a two-axis sweep: for every (row, col) pair it computes one
+// cell, in parallel, and returns the row-major matrix.
+func Grid[R any](rows, cols, workers int, f func(r, c int) R) [][]R {
+	flat := Map(rows*cols, workers, func(i int) R { return f(i/cols, i%cols) })
+	out := make([][]R, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols]
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package runtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/statemodel"
+)
+
+func liveSSRmin(n, k int, opts Options[core.State]) (*core.Algorithm, *Ring[core.State]) {
+	a := core.New(n, k)
+	return a, NewRing[core.State](a, a.InitialLegitimate(), opts)
+}
+
+func fastOpts() Options[core.State] {
+	return Options[core.State]{
+		Delay:          500 * time.Microsecond,
+		Jitter:         200 * time.Microsecond,
+		Refresh:        2 * time.Millisecond,
+		Seed:           1,
+		CoherentCaches: true,
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	r.Start()
+	time.Sleep(20 * time.Millisecond)
+	r.Stop()
+	// Stop is idempotent.
+	r.Stop()
+	if r.RuleExecutions() == 0 {
+		t.Error("no rule executions in 20ms")
+	}
+	carried, _ := r.LinkStats()
+	if carried == 0 {
+		t.Error("no message carried")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	r.Start()
+	defer r.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start accepted")
+		}
+	}()
+	r.Start()
+}
+
+func TestContextCancelStopsRing(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	r.StartContext(ctx)
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { r.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("goroutines did not exit after context cancel")
+	}
+}
+
+// TestLiveCirculation checks that the privilege visits every node of a
+// live ring within a generous wall-clock budget.
+func TestLiveCirculation(t *testing.T) {
+	a, r := liveSSRmin(5, 6, fastOpts())
+	r.Start()
+	defer r.Stop()
+	visited := map[int]bool{}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(visited) < a.N() && time.Now().Before(deadline) {
+		for _, h := range r.Holders(core.HasToken) {
+			visited[h] = true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if len(visited) != a.N() {
+		t.Fatalf("privilege visited %d/%d nodes: %v", len(visited), a.N(), visited)
+	}
+}
+
+// TestLiveMutualInclusion samples the census of a live SSRmin ring started
+// legitimate and coherent: the observed census should stay within 1–2.
+// (Sampling is not an instantaneous global cut, so we tolerate nothing —
+// the predicate's model gap tolerance is designed exactly so that stale
+// reads still show a holder.)
+func TestLiveMutualInclusion(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	r.Start()
+	defer r.Stop()
+	stats := r.WatchCensus(core.HasToken, 300*time.Millisecond, 100*time.Microsecond)
+	if stats.Samples < 100 {
+		t.Fatalf("only %d samples", stats.Samples)
+	}
+	if stats.Min < 1 {
+		t.Fatalf("census dipped to %d (zero-coverage instant observed): %+v", stats.Min, stats.At)
+	}
+	if stats.Max > 2 {
+		t.Fatalf("census rose to %d: %+v", stats.Max, stats.At)
+	}
+	if stats.DistinctHolders < 3 {
+		t.Errorf("only %d distinct holders in 300ms", stats.DistinctHolders)
+	}
+}
+
+// TestLiveDijkstraShowsGaps runs plain SSToken live: sampled census should
+// hit zero — the wall-clock demonstration of Figure 11.
+func TestLiveDijkstraShowsGaps(t *testing.T) {
+	a := dijkstra.New(5, 6)
+	r := NewRing[dijkstra.State](a, a.InitialLegitimate(), Options[dijkstra.State]{
+		Delay:          500 * time.Microsecond,
+		Jitter:         200 * time.Microsecond,
+		Refresh:        2 * time.Millisecond,
+		Seed:           2,
+		CoherentCaches: true,
+	})
+	r.Start()
+	defer r.Stop()
+	stats := r.WatchCensus(dijkstra.HasToken, 300*time.Millisecond, 100*time.Microsecond)
+	if stats.Min != 0 {
+		t.Fatalf("expected zero-token samples for live SSToken, min=%d %+v", stats.Min, stats.At)
+	}
+}
+
+// TestLiveStabilizationFromArbitrary starts from garbage states and
+// incoherent caches over lossy links and requires the ring to reach and
+// hold the 1–2 regime.
+func TestLiveStabilizationFromArbitrary(t *testing.T) {
+	a := core.New(5, 7)
+	init := statemodel.Config[core.State]{
+		{X: 3, RTS: true, TRA: true}, {X: 1}, {X: 6, TRA: true}, {X: 2, RTS: true}, {X: 2},
+	}
+	r := NewRing[core.State](a, init, Options[core.State]{
+		Delay:    500 * time.Microsecond,
+		Jitter:   300 * time.Microsecond,
+		LossProb: 0.05,
+		Refresh:  2 * time.Millisecond,
+		Seed:     3,
+	})
+	r.Start()
+	defer r.Stop()
+	time.Sleep(500 * time.Millisecond) // settle: » O(n²) rule executions
+	stats := r.WatchCensus(core.HasToken, 200*time.Millisecond, 100*time.Microsecond)
+	if stats.Min < 1 || stats.Max > 2 {
+		t.Fatalf("census out of [1,2] after settling: %+v", stats)
+	}
+}
+
+// TestPrivilegeCallback exercises the application hook: every node must
+// report becoming privileged at least once, and transitions must come from
+// the owning node id.
+func TestPrivilegeCallback(t *testing.T) {
+	a, r := liveSSRmin(5, 6, fastOpts())
+	var became [5]atomic.Int64
+	r.SetPrivilegeCallback(core.HasToken, func(id int, holds bool) {
+		if holds {
+			became[id].Add(1)
+		}
+	})
+	r.Start()
+	defer r.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for i := 0; i < a.N(); i++ {
+			if became[i].Load() == 0 {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("not every node became privileged: %v", []int64{
+		became[0].Load(), became[1].Load(), became[2].Load(), became[3].Load(), became[4].Load(),
+	})
+}
+
+func TestSetPrivilegeCallbackAfterStartPanics(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	r.Start()
+	defer r.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetPrivilegeCallback after Start accepted")
+		}
+	}()
+	r.SetPrivilegeCallback(core.HasToken, nil)
+}
+
+func TestSnapshotsShape(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	snaps := r.Snapshots()
+	if len(snaps) != 5 {
+		t.Fatalf("%d snapshots", len(snaps))
+	}
+	// Before start, snapshot = init with coherent caches.
+	if snaps[1].CachePred != (core.State{X: 0, TRA: true}) {
+		t.Errorf("P1 cache of P0 = %v", snaps[1].CachePred)
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	a := core.New(3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad init length accepted")
+		}
+	}()
+	NewRing[core.State](a, statemodel.Config[core.State]{{}, {}}, Options[core.State]{Refresh: time.Millisecond})
+}
+
+// TestLiveFaultInjectionRecovers hits a running ring with live soft
+// errors and verifies the census returns to [1,2] and stays there.
+func TestLiveFaultInjectionRecovers(t *testing.T) {
+	a, r := liveSSRmin(5, 6, fastOpts())
+	r.Start()
+	defer r.Stop()
+	time.Sleep(20 * time.Millisecond)
+
+	for round := 0; round < 3; round++ {
+		if !r.Inject(round%a.N(), core.State{X: (round * 3) % 6, RTS: true, TRA: true}) {
+			t.Fatal("injection dropped")
+		}
+		r.Inject((round+2)%a.N(), core.State{X: (round + 1) % 6})
+		time.Sleep(150 * time.Millisecond) // » worst-case recovery at n=5
+		stats := r.WatchCensus(core.HasToken, 100*time.Millisecond, 100*time.Microsecond)
+		if stats.Min < 1 || stats.Max > 2 {
+			t.Fatalf("round %d: census %+v after fault", round, stats)
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	_, r := liveSSRmin(5, 6, fastOpts())
+	defer func() {
+		if recover() == nil {
+			t.Error("Inject out of range accepted")
+		}
+	}()
+	r.Inject(99, core.State{})
+}

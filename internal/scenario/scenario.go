@@ -1,0 +1,355 @@
+// Package scenario runs declarative, JSON-described message-passing
+// experiments: algorithm, ring size, link characteristics, and a timed
+// fault script (state corruption, cache corruption, link cuts and heals).
+// It gives the CLI a reproducible, shareable experiment format — a run is
+// a pure function of the scenario document.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/cst"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/fault"
+	"ssrmin/internal/msgnet"
+	"ssrmin/internal/statemodel"
+	"ssrmin/internal/synchro"
+	"ssrmin/internal/verify"
+)
+
+// Fault is one scripted fault event.
+type Fault struct {
+	// At is the simulated time of injection (seconds).
+	At float64 `json:"at"`
+	// Type is one of "states", "caches", "cut", "heal", "loss-on",
+	// "loss-off".
+	Type string `json:"type"`
+	// Count is how many states/cache entries to corrupt (states/caches).
+	Count int `json:"count,omitempty"`
+	// Link is the ring edge to cut or heal, as the lower endpoint: the
+	// edge between node Link and node Link+1 (mod n).
+	Link int `json:"link,omitempty"`
+}
+
+// Link describes the ring links.
+type Link struct {
+	// Delay is the base propagation delay (seconds; default 0.01).
+	Delay float64 `json:"delay"`
+	// Jitter is the uniform extra delay bound (seconds).
+	Jitter float64 `json:"jitter,omitempty"`
+	// Loss is the per-message loss probability.
+	Loss float64 `json:"loss,omitempty"`
+	// Dup is the per-message duplication probability.
+	Dup float64 `json:"dup,omitempty"`
+	// Corrupt is the per-message payload corruption probability.
+	Corrupt float64 `json:"corrupt,omitempty"`
+}
+
+// Scenario is one declarative experiment.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Algorithm is "ssrmin" (default) or "sstoken".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Transform is "cst" (default) or "synchro" (the α-synchronizer).
+	// Fault scripts and Hold are only supported under "cst".
+	Transform string `json:"transform,omitempty"`
+	// N is the ring size; K the counter space (default N+1).
+	N int `json:"n"`
+	K int `json:"k,omitempty"`
+	// Horizon is the simulated duration in seconds.
+	Horizon float64 `json:"horizon"`
+	// Link configures every ring link.
+	Link Link `json:"link"`
+	// Refresh is the CST announcement period (default 5×delay).
+	Refresh float64 `json:"refresh,omitempty"`
+	// Hold is the critical-section dwell (seconds).
+	Hold float64 `json:"hold,omitempty"`
+	// Seed fixes all randomness.
+	Seed int64 `json:"seed"`
+	// RandomStart draws an arbitrary initial configuration; otherwise the
+	// canonical legitimate one is used.
+	RandomStart bool `json:"randomStart,omitempty"`
+	// IncoherentCaches seeds caches with random states.
+	IncoherentCaches bool `json:"incoherentCaches,omitempty"`
+	// SettleBefore discards census observations before this time when
+	// computing the report (for stabilization scenarios).
+	SettleBefore float64 `json:"settleBefore,omitempty"`
+	// Faults is the timed fault script.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// Result is the measured outcome of one scenario run.
+type Result struct {
+	Name string `json:"name"`
+	// MinCensus/MaxCensus over the (post-settle) observation window.
+	MinCensus int `json:"minCensus"`
+	MaxCensus int `json:"maxCensus"`
+	// Fractions maps census value -> fraction of observed time.
+	Fractions map[int]float64 `json:"fractions"`
+	// Violations counts observed instants outside [1,2].
+	Violations int `json:"violations"`
+	// LastBad is the last time the census left [1,2], or -1.
+	LastBad float64 `json:"lastBad"`
+	// RuleExecutions and message statistics.
+	RuleExecutions int          `json:"ruleExecutions"`
+	Net            msgnet.Stats `json:"net"`
+}
+
+// Load parses a JSON document containing either one scenario object or an
+// array of them.
+func Load(r io.Reader) ([]Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read: %w", err)
+	}
+	var many []Scenario
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one Scenario
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return []Scenario{one}, nil
+}
+
+// Validate checks the scenario and fills defaults in place.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	switch s.Algorithm {
+	case "":
+		s.Algorithm = "ssrmin"
+	case "ssrmin", "sstoken":
+	default:
+		return fmt.Errorf("scenario %q: unknown algorithm %q", s.Name, s.Algorithm)
+	}
+	switch s.Transform {
+	case "":
+		s.Transform = "cst"
+	case "cst":
+	case "synchro":
+		if len(s.Faults) > 0 || s.Hold != 0 {
+			return fmt.Errorf("scenario %q: faults/hold are not supported under the synchro transform", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown transform %q", s.Name, s.Transform)
+	}
+	minN := 3
+	if s.Algorithm == "sstoken" {
+		minN = 2
+	}
+	if s.N < minN {
+		return fmt.Errorf("scenario %q: n = %d too small", s.Name, s.N)
+	}
+	if s.K == 0 {
+		s.K = s.N + 1
+	}
+	if s.K <= s.N {
+		return fmt.Errorf("scenario %q: K = %d must exceed n = %d", s.Name, s.K, s.N)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("scenario %q: horizon must be positive", s.Name)
+	}
+	if s.Link.Delay == 0 {
+		s.Link.Delay = 0.01
+	}
+	if s.Refresh == 0 {
+		s.Refresh = 5 * s.Link.Delay
+	}
+	for _, p := range []float64{s.Link.Loss, s.Link.Dup, s.Link.Corrupt} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("scenario %q: probability %v out of range", s.Name, p)
+		}
+	}
+	for i, f := range s.Faults {
+		switch f.Type {
+		case "states", "caches":
+			if f.Count <= 0 {
+				return fmt.Errorf("scenario %q: fault %d needs a positive count", s.Name, i)
+			}
+		case "cut", "heal":
+			if f.Link < 0 || f.Link >= s.N {
+				return fmt.Errorf("scenario %q: fault %d link %d out of range", s.Name, i, f.Link)
+			}
+		case "loss-on", "loss-off":
+		default:
+			return fmt.Errorf("scenario %q: fault %d has unknown type %q", s.Name, i, f.Type)
+		}
+		if f.At < 0 || f.At > s.Horizon {
+			return fmt.Errorf("scenario %q: fault %d at %v outside horizon", s.Name, i, f.At)
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario and returns its measurements.
+func (s Scenario) Run() (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	link := msgnet.LinkParams{
+		Delay:       msgnet.Time(s.Link.Delay),
+		Jitter:      msgnet.Time(s.Link.Jitter),
+		LossProb:    s.Link.Loss,
+		DupProb:     s.Link.Dup,
+		CorruptProb: s.Link.Corrupt,
+	}
+	switch s.Algorithm {
+	case "ssrmin":
+		if s.Transform == "synchro" {
+			return runSynchro[core.State](s, newSSRminBundle(s), link)
+		}
+		return runGeneric[core.State](s, newSSRminBundle(s), link)
+	case "sstoken":
+		if s.Transform == "synchro" {
+			return runSynchro[dijkstra.State](s, newSSTokenBundle(s), link)
+		}
+		return runGeneric[dijkstra.State](s, newSSTokenBundle(s), link)
+	}
+	return Result{}, fmt.Errorf("scenario %q: unreachable algorithm", s.Name)
+}
+
+// bundle packages the per-algorithm pieces the generic runner needs.
+type bundle[S comparable] struct {
+	alg    statemodel.Algorithm[S]
+	init   statemodel.Config[S]
+	draw   func(*rand.Rand) S
+	holder func(statemodel.View[S]) bool
+}
+
+func newSSRminBundle(s Scenario) bundle[core.State] {
+	a := core.New(s.N, s.K)
+	draw := func(rng *rand.Rand) core.State {
+		return core.State{X: rng.Intn(s.K), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+	}
+	init := a.InitialLegitimate()
+	if s.RandomStart {
+		rng := rand.New(rand.NewSource(s.Seed))
+		init = make(statemodel.Config[core.State], s.N)
+		for i := range init {
+			init[i] = draw(rng)
+		}
+	}
+	return bundle[core.State]{alg: a, init: init, draw: draw, holder: core.HasToken}
+}
+
+func newSSTokenBundle(s Scenario) bundle[dijkstra.State] {
+	a := dijkstra.New(s.N, s.K)
+	draw := func(rng *rand.Rand) dijkstra.State { return dijkstra.State{X: rng.Intn(s.K)} }
+	init := a.InitialLegitimate()
+	if s.RandomStart {
+		rng := rand.New(rand.NewSource(s.Seed))
+		init = make(statemodel.Config[dijkstra.State], s.N)
+		for i := range init {
+			init[i] = draw(rng)
+		}
+	}
+	return bundle[dijkstra.State]{alg: a, init: init, draw: draw, holder: dijkstra.HasToken}
+}
+
+func runGeneric[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (Result, error) {
+	ring := cst.NewRing[S](b.alg, b.init, cst.Options[S]{
+		Link:           link,
+		Refresh:        msgnet.Time(s.Refresh),
+		Hold:           msgnet.Time(s.Hold),
+		Seed:           s.Seed,
+		CoherentCaches: !s.IncoherentCaches,
+		RandomState:    b.draw,
+	})
+	if link.CorruptProb > 0 {
+		ring.Net.Corrupt = func(rng *rand.Rand, payload any) any { return b.draw(rng) }
+	}
+
+	var tl verify.Timeline
+	res := Result{Name: s.Name, LastBad: -1, Fractions: map[int]float64{}}
+	ring.Net.Observer = func(now msgnet.Time) {
+		c := ring.Census(b.holder)
+		if float64(now) >= s.SettleBefore {
+			tl.Record(float64(now), c)
+		}
+		if c < 1 || c > 2 {
+			res.LastBad = float64(now)
+			if float64(now) >= s.SettleBefore {
+				res.Violations++
+			}
+		}
+	}
+
+	faults := append([]Fault(nil), s.Faults...)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	inj := fault.NewInjector(s.Seed + 1)
+	for _, f := range faults {
+		ring.Net.Run(msgnet.Time(f.At))
+		switch f.Type {
+		case "states":
+			fault.CorruptStates[S](inj, ring, f.Count, b.draw)
+		case "caches":
+			fault.CorruptCaches[S](inj, ring, f.Count, b.draw)
+		case "cut":
+			ring.Net.SetLinkUp(f.Link, (f.Link+1)%s.N, false)
+			ring.Net.SetLinkUp((f.Link+1)%s.N, f.Link, false)
+		case "heal":
+			ring.Net.SetLinkUp(f.Link, (f.Link+1)%s.N, true)
+			ring.Net.SetLinkUp((f.Link+1)%s.N, f.Link, true)
+		case "loss-on":
+			ring.Net.LossEnabled = true
+		case "loss-off":
+			ring.Net.LossEnabled = false
+		}
+	}
+	ring.Net.Run(msgnet.Time(s.Horizon))
+
+	tl.Close(float64(ring.Net.Now()))
+	res.MinCensus = tl.MinCount()
+	res.MaxCensus = tl.MaxCount()
+	for _, c := range tl.Counts() {
+		res.Fractions[c] = tl.Fraction(c)
+	}
+	res.RuleExecutions = ring.RuleExecutions()
+	res.Net = ring.Net.Stats()
+	return res, nil
+}
+
+// runSynchro executes the scenario under the α-synchronizer transform.
+func runSynchro[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (Result, error) {
+	ring := synchro.NewRing[S](b.alg, b.init, link, msgnet.Time(s.Refresh), s.Seed)
+	var tl verify.Timeline
+	res := Result{Name: s.Name, LastBad: -1, Fractions: map[int]float64{}}
+	ring.Net.Observer = func(now msgnet.Time) {
+		c := ring.Census(b.holder)
+		if float64(now) >= s.SettleBefore {
+			tl.Record(float64(now), c)
+		}
+		if c < 1 || c > 2 {
+			res.LastBad = float64(now)
+			if float64(now) >= s.SettleBefore {
+				res.Violations++
+			}
+		}
+	}
+	ring.Net.Run(msgnet.Time(s.Horizon))
+	tl.Close(float64(ring.Net.Now()))
+	res.MinCensus = tl.MinCount()
+	res.MaxCensus = tl.MaxCount()
+	for _, c := range tl.Counts() {
+		res.Fractions[c] = tl.Fraction(c)
+	}
+	res.RuleExecutions = ring.RuleExecutions()
+	res.Net = ring.Net.Stats()
+	return res, nil
+}
+
+// WriteResult renders a result as indented JSON.
+func WriteResult(w io.Writer, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func base() Scenario {
+	return Scenario{
+		Name:    "t",
+		N:       5,
+		Horizon: 5,
+		Link:    Link{Delay: 0.01, Jitter: 0.002},
+		Seed:    1,
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	s := base()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != "ssrmin" || s.K != 6 || s.Refresh != 0.05 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"no name", func(s *Scenario) { s.Name = "" }},
+		{"bad alg", func(s *Scenario) { s.Algorithm = "paxos" }},
+		{"small n", func(s *Scenario) { s.N = 2 }},
+		{"bad k", func(s *Scenario) { s.K = 4 }},
+		{"no horizon", func(s *Scenario) { s.Horizon = 0 }},
+		{"bad loss", func(s *Scenario) { s.Link.Loss = 2 }},
+		{"fault count", func(s *Scenario) { s.Faults = []Fault{{At: 1, Type: "states"}} }},
+		{"fault type", func(s *Scenario) { s.Faults = []Fault{{At: 1, Type: "meteor"}} }},
+		{"fault link", func(s *Scenario) { s.Faults = []Fault{{At: 1, Type: "cut", Link: 9}} }},
+		{"fault time", func(s *Scenario) { s.Faults = []Fault{{At: 99, Type: "loss-on"}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("validation accepted %+v", s)
+			}
+		})
+	}
+}
+
+func TestLoadSingleAndArray(t *testing.T) {
+	one := `{"name":"a","n":5,"horizon":3,"link":{"delay":0.01},"seed":1}`
+	ss, err := Load(strings.NewReader(one))
+	if err != nil || len(ss) != 1 || ss[0].Name != "a" {
+		t.Fatalf("single load: %v %v", ss, err)
+	}
+	many := `[{"name":"a","n":5,"horizon":3,"link":{"delay":0.01},"seed":1},
+	          {"name":"b","n":4,"horizon":2,"link":{"delay":0.02},"seed":2,"algorithm":"sstoken"}]`
+	ss, err = Load(strings.NewReader(many))
+	if err != nil || len(ss) != 2 || ss[1].Algorithm != "sstoken" {
+		t.Fatalf("array load: %v %v", ss, err)
+	}
+	if _, err := Load(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestRunSSRminClean(t *testing.T) {
+	s := base()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinCensus < 1 || res.MaxCensus > 2 || res.Violations != 0 {
+		t.Fatalf("clean run violated bounds: %+v", res)
+	}
+	if res.RuleExecutions == 0 || res.Net.Sent == 0 {
+		t.Fatal("no progress recorded")
+	}
+	if res.LastBad != -1 {
+		t.Fatalf("LastBad = %v on a clean run", res.LastBad)
+	}
+}
+
+func TestRunSSTokenShowsGap(t *testing.T) {
+	s := base()
+	s.Algorithm = "sstoken"
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinCensus != 0 {
+		t.Fatalf("SSToken scenario should reach census 0: %+v", res)
+	}
+}
+
+func TestRunWithFaultScript(t *testing.T) {
+	s := base()
+	s.Horizon = 60
+	s.SettleBefore = 40
+	s.Faults = []Fault{
+		{At: 5, Type: "states", Count: 2},
+		{At: 10, Type: "caches", Count: 2},
+		{At: 15, Type: "cut", Link: 1},
+		{At: 20, Type: "heal", Link: 1},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the settle window the system must be back in the 1–2 regime.
+	if res.Violations != 0 || res.MinCensus < 1 || res.MaxCensus > 2 {
+		t.Fatalf("did not re-stabilize after fault script: %+v", res)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	s := base()
+	s.Link.Loss = 0.1
+	r1, err1 := s.Run()
+	r2, err2 := s.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.RuleExecutions != r2.RuleExecutions || r1.Net != r2.Net {
+		t.Fatalf("same scenario diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestWriteResult(t *testing.T) {
+	s := base()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteResult(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name"`, `"minCensus"`, `"ruleExecutions"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestShippedScenarioFiles loads and runs every scenario document shipped
+// in the repository's scenarios/ directory.
+func TestShippedScenarioFiles(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shipped scenarios found: %v", err)
+	}
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := Load(fh)
+		fh.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, s := range ss {
+			res, err := s.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f, s.Name, err)
+			}
+			if s.Algorithm != "sstoken" && (res.MinCensus < 1 || res.MaxCensus > 2) {
+				t.Errorf("%s/%s: census [%d,%d] out of bounds", f, s.Name, res.MinCensus, res.MaxCensus)
+			}
+		}
+	}
+}
+
+func TestSynchroTransform(t *testing.T) {
+	s := base()
+	s.Transform = "synchro"
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinCensus < 1 || res.MaxCensus > 2 || res.Violations != 0 {
+		t.Fatalf("ssrmin under synchro violated bounds: %+v", res)
+	}
+
+	s2 := base()
+	s2.Transform = "synchro"
+	s2.Algorithm = "sstoken"
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MinCensus != 0 {
+		t.Fatalf("sstoken under synchro should show the gap: %+v", res2)
+	}
+}
+
+func TestSynchroTransformValidation(t *testing.T) {
+	s := base()
+	s.Transform = "synchro"
+	s.Faults = []Fault{{At: 1, Type: "loss-on"}}
+	if err := s.Validate(); err == nil {
+		t.Error("faults under synchro accepted")
+	}
+	s = base()
+	s.Transform = "warp"
+	if err := s.Validate(); err == nil {
+		t.Error("unknown transform accepted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package spec is a declarative, data-driven encoding of Algorithm 3 of
+// the paper, kept deliberately separate from the hand-optimized
+// implementation in internal/core. Each rule is written down exactly as
+// the paper prints it — a guard over G_i and a triple of ⟨rts.tra⟩
+// patterns for (predecessor, self, successor), with '?' wildcards — plus
+// the token conditions of lines 37–41.
+//
+// The test suite proves, by exhaustive enumeration over all views, that
+// internal/core implements precisely this specification (rule selection
+// including priorities, command effects, and token predicates). Any edit
+// to either side that breaks agreement fails the conformance tests, which
+// makes the transliteration of the paper auditable: a reviewer only needs
+// to compare this file against Algorithm 3's text.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/statemodel"
+)
+
+// Pat is a pattern over one process's ⟨rts.tra⟩ pair. Each field is '0',
+// '1' or '?' (wildcard).
+type Pat struct {
+	RTS, TRA byte
+}
+
+// ParsePat parses "r.t" notation, e.g. "1.0" or "?.?".
+func ParsePat(s string) Pat {
+	parts := strings.Split(s, ".")
+	if len(parts) != 2 || len(parts[0]) != 1 || len(parts[1]) != 1 {
+		panic(fmt.Sprintf("spec: bad pattern %q", s))
+	}
+	p := Pat{RTS: parts[0][0], TRA: parts[1][0]}
+	for _, b := range []byte{p.RTS, p.TRA} {
+		if b != '0' && b != '1' && b != '?' {
+			panic(fmt.Sprintf("spec: bad pattern byte %q in %q", b, s))
+		}
+	}
+	return p
+}
+
+// Match reports whether the pattern matches the flags of s.
+func (p Pat) Match(s core.State) bool {
+	return matchBit(p.RTS, s.RTS) && matchBit(p.TRA, s.TRA)
+}
+
+func matchBit(pat byte, val bool) bool {
+	switch pat {
+	case '?':
+		return true
+	case '1':
+		return val
+	case '0':
+		return !val
+	}
+	panic("spec: invalid pattern byte")
+}
+
+func (p Pat) String() string { return fmt.Sprintf("%c.%c", p.RTS, p.TRA) }
+
+// Triple is a ⟨pred, self, succ⟩ pattern.
+type Triple struct {
+	Pred, Self, Succ Pat
+}
+
+// T parses a triple from three "r.t" strings.
+func T(pred, self, succ string) Triple {
+	return Triple{ParsePat(pred), ParsePat(self), ParsePat(succ)}
+}
+
+// Match reports whether the triple matches a view's flag values.
+func (t Triple) Match(v statemodel.View[core.State]) bool {
+	return t.Pred.Match(v.Pred) && t.Self.Match(v.Self) && t.Succ.Match(v.Succ)
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("⟨%s, %s, %s⟩", t.Pred, t.Self, t.Succ)
+}
+
+// Effect is a command of Algorithm 3: set ⟨rts.tra⟩ and optionally run the
+// Dijkstra command C_i.
+type Effect struct {
+	RTS, TRA bool
+	// RunC runs C_i: x_0 ← x_{n-1}+1 mod K at the bottom, x_i ← x_{i-1}
+	// elsewhere.
+	RunC bool
+}
+
+// Rule is one guarded command as printed in Algorithm 3.
+type Rule struct {
+	// Number is the 1-based rule number; smaller numbers have priority.
+	Number int
+	// Comment is the paper's inline comment.
+	Comment string
+	// NeedsG is the G_i / ¬G_i part of the guard.
+	NeedsG bool
+	// Positive lists triples of which at least one must match ("= A or
+	// = B or = C").
+	Positive []Triple
+	// Negative lists triples of which none may match ("≠ A and ≠ B").
+	Negative []Triple
+	// Effect is the command.
+	Effect Effect
+}
+
+// Enabled evaluates the rule's guard on v given the value of G_i.
+func (r Rule) Enabled(g bool, v statemodel.View[core.State]) bool {
+	if g != r.NeedsG {
+		return false
+	}
+	if len(r.Positive) > 0 {
+		ok := false
+		for _, t := range r.Positive {
+			if t.Match(v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, t := range r.Negative {
+		if t.Match(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rules is Algorithm 3, rule for rule, pattern for pattern.
+//
+//	Rule 1: G ∧ (self ∈ {0.0, 0.1, 1.1})                     → 1.0
+//	Rule 2: G ∧ (self = 1.0 ∧ succ = 0.1)                    → 0.0; C
+//	Rule 3: ¬G ∧ (pred = 1.0 ∧ self ∈ {0.0, 1.0, 1.1})       → 0.1
+//	Rule 4: G ∧ (triple ≠ ⟨0.0, 1.0, 0.0⟩)                   → 0.0; C
+//	Rule 5: ¬G ∧ (triple ≠ ⟨1.0, 0.1, ?.?⟩ ∧ self ≠ 0.0)     → 0.0
+func Rules() []Rule {
+	return []Rule{
+		{
+			Number: 1, Comment: "ready to send the secondary token", NeedsG: true,
+			Positive: []Triple{
+				T("?.?", "0.0", "?.?"),
+				T("?.?", "0.1", "?.?"),
+				T("?.?", "1.1", "?.?"),
+			},
+			Effect: Effect{RTS: true, TRA: false},
+		},
+		{
+			Number: 2, Comment: "send the primary token", NeedsG: true,
+			Positive: []Triple{
+				T("?.?", "1.0", "0.1"),
+			},
+			Effect: Effect{RTS: false, TRA: false, RunC: true},
+		},
+		{
+			Number: 3, Comment: "receive the secondary token", NeedsG: false,
+			Positive: []Triple{
+				T("1.0", "0.0", "?.?"),
+				T("1.0", "1.0", "?.?"),
+				T("1.0", "1.1", "?.?"),
+			},
+			Effect: Effect{RTS: false, TRA: true},
+		},
+		{
+			Number: 4, Comment: "fix inconsistent local state when G_i is true", NeedsG: true,
+			Negative: []Triple{
+				T("0.0", "1.0", "0.0"),
+			},
+			Effect: Effect{RTS: false, TRA: false, RunC: true},
+		},
+		{
+			Number: 5, Comment: "fix inconsistent local state when G_i is false", NeedsG: false,
+			Negative: []Triple{
+				T("1.0", "0.1", "?.?"),
+				T("?.?", "0.0", "?.?"),
+			},
+			Effect: Effect{RTS: false, TRA: false},
+		},
+	}
+}
+
+// G evaluates the Dijkstra guard of Algorithm 3's macro section.
+func G(v statemodel.View[core.State]) bool {
+	if v.Bottom() {
+		return v.Self.X == v.Pred.X
+	}
+	return v.Self.X != v.Pred.X
+}
+
+// EnabledRule returns the highest-priority enabled rule per the
+// specification (0 if none) — the reference implementation of Algorithm
+// 3's rule-selection semantics.
+func EnabledRule(v statemodel.View[core.State]) int {
+	g := G(v)
+	for _, r := range Rules() {
+		if r.Enabled(g, v) {
+			return r.Number
+		}
+	}
+	return 0
+}
+
+// Apply executes the specified rule's command on v with counter space k.
+func Apply(v statemodel.View[core.State], rule, k int) core.State {
+	for _, r := range Rules() {
+		if r.Number != rule {
+			continue
+		}
+		next := v.Self
+		next.RTS, next.TRA = r.Effect.RTS, r.Effect.TRA
+		if r.Effect.RunC {
+			if v.Bottom() {
+				next.X = (v.Pred.X + 1) % k
+			} else {
+				next.X = v.Pred.X
+			}
+		}
+		return next
+	}
+	panic(fmt.Sprintf("spec: unknown rule %d", rule))
+}
+
+// PrimaryToken is the token condition of line 37: G_i.
+func PrimaryToken(v statemodel.View[core.State]) bool { return G(v) }
+
+// SecondaryToken is the token condition of lines 38–40:
+// ⟨?.?, ?.1, ?.?⟩ or ⟨?.?, 1.?, 0.0⟩.
+func SecondaryToken(v statemodel.View[core.State]) bool {
+	pats := []Triple{
+		{ParsePat("?.?"), ParsePat("?.1"), ParsePat("?.?")},
+		{ParsePat("?.?"), ParsePat("1.?"), ParsePat("0.0")},
+	}
+	for _, t := range pats {
+		if t.Match(v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package spec
+
+import (
+	"testing"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/statemodel"
+)
+
+// allViews enumerates every (i-kind, self, pred, succ) view for the given
+// K, covering bottom (i=0) and non-bottom (i=1) processes.
+func allViews(k int, visit func(v statemodel.View[core.State])) {
+	var states []core.State
+	for x := 0; x < k; x++ {
+		for _, rts := range []bool{false, true} {
+			for _, tra := range []bool{false, true} {
+				states = append(states, core.State{X: x, RTS: rts, TRA: tra})
+			}
+		}
+	}
+	for _, i := range []int{0, 1} {
+		for _, self := range states {
+			for _, pred := range states {
+				for _, succ := range states {
+					visit(statemodel.View[core.State]{I: i, N: 3, Self: self, Pred: pred, Succ: succ})
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceEnabledRule proves that internal/core selects exactly the
+// rule the declarative Algorithm 3 specification selects, for every
+// possible view.
+func TestConformanceEnabledRule(t *testing.T) {
+	k := 4
+	a := core.New(3, k)
+	count := 0
+	allViews(k, func(v statemodel.View[core.State]) {
+		count++
+		want := EnabledRule(v)
+		got := a.EnabledRule(v)
+		if got != want {
+			t.Fatalf("view %+v: core selects rule %d, spec selects %d", v, got, want)
+		}
+	})
+	// 2 process kinds × (4K)³ views with K = 4.
+	if count != 2*16*16*16 {
+		t.Fatalf("enumerated %d views", count)
+	}
+}
+
+// TestConformanceApply proves command agreement on every enabled view.
+func TestConformanceApply(t *testing.T) {
+	k := 4
+	a := core.New(3, k)
+	allViews(k, func(v statemodel.View[core.State]) {
+		rule := EnabledRule(v)
+		if rule == 0 {
+			return
+		}
+		want := Apply(v, rule, k)
+		got := a.Apply(v, rule)
+		if got != want {
+			t.Fatalf("view %+v rule %d: core applies %v, spec %v", v, rule, got, want)
+		}
+	})
+}
+
+// TestConformanceTokens proves both token predicates agree everywhere.
+func TestConformanceTokens(t *testing.T) {
+	allViews(4, func(v statemodel.View[core.State]) {
+		if core.HasPrimary(v) != PrimaryToken(v) {
+			t.Fatalf("primary token disagreement at %+v", v)
+		}
+		if core.HasSecondary(v) != SecondaryToken(v) {
+			t.Fatalf("secondary token disagreement at %+v", v)
+		}
+	})
+}
+
+// TestGuardMutualExclusivity checks the paper's claim that each process is
+// enabled by at most one rule: with priorities stripped, overlapping
+// guards must only overlap in the priority order the implementation uses.
+// Concretely: whenever two rules' raw guards hold simultaneously, the
+// spec's priority pick equals the core pick (already proven above), and no
+// view satisfies both a G-rule and a ¬G-rule.
+func TestGuardMutualExclusivity(t *testing.T) {
+	rules := Rules()
+	allViews(4, func(v statemodel.View[core.State]) {
+		g := G(v)
+		for _, r := range rules {
+			if r.Enabled(g, v) && r.NeedsG != g {
+				t.Fatalf("rule %d enabled with mismatched G at %+v", r.Number, v)
+			}
+		}
+	})
+}
+
+// TestNoRuleYieldsRtsTra11 verifies the general property used in the proof
+// of Lemma 6: "there is no rule to yield ⟨1.1⟩".
+func TestNoRuleYieldsRtsTra11(t *testing.T) {
+	k := 4
+	allViews(k, func(v statemodel.View[core.State]) {
+		rule := EnabledRule(v)
+		if rule == 0 {
+			return
+		}
+		next := Apply(v, rule, k)
+		if next.RTS && next.TRA {
+			t.Fatalf("rule %d yields ⟨1.1⟩ from %+v", rule, v)
+		}
+	})
+}
+
+// TestOnlyRule1Yields10 verifies the companion property: "the rule to
+// yield ⟨rts.tra⟩ = ⟨1.0⟩ is only Rule 1, executed only when G_i holds".
+func TestOnlyRule1Yields10(t *testing.T) {
+	k := 4
+	allViews(k, func(v statemodel.View[core.State]) {
+		rule := EnabledRule(v)
+		if rule == 0 {
+			return
+		}
+		next := Apply(v, rule, k)
+		if next.RTS && !next.TRA {
+			if rule != 1 {
+				t.Fatalf("rule %d yields ⟨1.0⟩ from %+v", rule, v)
+			}
+			if !G(v) {
+				t.Fatalf("rule 1 executed without G at %+v", v)
+			}
+		}
+	})
+}
+
+func TestPatternParsing(t *testing.T) {
+	p := ParsePat("1.?")
+	if !p.Match(core.State{RTS: true, TRA: false}) || !p.Match(core.State{RTS: true, TRA: true}) {
+		t.Error("1.? should match rts=1 regardless of tra")
+	}
+	if p.Match(core.State{RTS: false}) {
+		t.Error("1.? must not match rts=0")
+	}
+	if p.String() != "1.?" {
+		t.Errorf("String = %q", p.String())
+	}
+	tr := T("1.0", "0.1", "?.?")
+	if tr.String() != "⟨1.0, 0.1, ?.?⟩" {
+		t.Errorf("Triple.String = %q", tr.String())
+	}
+	for _, bad := range []string{"", "1", "1.2", "x.y", "10.1"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ParsePat(%q) did not panic", bad)
+				}
+			}()
+			ParsePat(bad)
+		}()
+	}
+}
+
+func TestApplyUnknownRulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply(0) did not panic")
+		}
+	}()
+	Apply(statemodel.View[core.State]{N: 3}, 0, 4)
+}
+
+func TestRuleTableShape(t *testing.T) {
+	rules := Rules()
+	if len(rules) != 5 {
+		t.Fatalf("%d rules", len(rules))
+	}
+	for i, r := range rules {
+		if r.Number != i+1 {
+			t.Errorf("rule %d numbered %d", i+1, r.Number)
+		}
+		if r.Comment == "" {
+			t.Errorf("rule %d lacks its paper comment", r.Number)
+		}
+		if len(r.Positive) == 0 && len(r.Negative) == 0 {
+			t.Errorf("rule %d has no patterns", r.Number)
+		}
+	}
+}

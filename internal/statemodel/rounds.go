@@ -1,0 +1,91 @@
+package statemodel
+
+// Round counting — the second standard time measure for self-stabilizing
+// algorithms (Altisen–Devismes–Dubois–Petit 2019, the reference the paper
+// uses for Dijkstra's bound). A *round* is a minimal execution segment in
+// which every process that was enabled at the segment's start either
+// executes a rule or becomes disabled. Under the unfair daemon, step
+// counts can overstate the cost of an execution whose steps each activate
+// one process; round counts normalize for that, and convergence in O(n)
+// rounds is the usual companion to an O(n²) step bound.
+
+// RoundCounter tracks completed rounds of an execution. Feed it every
+// transition via Observe; it watches the set of processes that were
+// enabled when the current round began and closes the round when all of
+// them have moved or been disabled.
+type RoundCounter[S comparable] struct {
+	alg     Algorithm[S]
+	pending map[int]bool // processes still owed a move/disable this round
+	rounds  int
+	primed  bool
+}
+
+// NewRoundCounter creates a counter for executions of alg.
+func NewRoundCounter[S comparable](alg Algorithm[S]) *RoundCounter[S] {
+	return &RoundCounter[S]{alg: alg, pending: map[int]bool{}}
+}
+
+// Rounds returns the number of completed rounds so far.
+func (rc *RoundCounter[S]) Rounds() int { return rc.rounds }
+
+// Attach hooks the counter onto a simulator, composing with any existing
+// OnStep hook.
+func (rc *RoundCounter[S]) Attach(sim *Simulator[S]) {
+	rc.prime(sim.Config())
+	prev := sim.OnStep
+	sim.OnStep = func(step int, moves []Move, cfg Config[S]) {
+		rc.Observe(moves, cfg)
+		if prev != nil {
+			prev(step, moves, cfg)
+		}
+	}
+}
+
+// prime initializes the round's watch set from the configuration.
+func (rc *RoundCounter[S]) prime(cfg Config[S]) {
+	for k := range rc.pending {
+		delete(rc.pending, k)
+	}
+	for _, m := range Enabled[S](rc.alg, cfg) {
+		rc.pending[m.Process] = true
+	}
+	rc.primed = true
+}
+
+// Observe feeds one transition: the moves executed and the configuration
+// they produced. The first call must be preceded by priming via Attach (or
+// an explicit Prime).
+func (rc *RoundCounter[S]) Observe(moves []Move, next Config[S]) {
+	if !rc.primed {
+		panic("statemodel: RoundCounter not primed")
+	}
+	// Processes that moved are no longer owed.
+	for _, m := range moves {
+		delete(rc.pending, m.Process)
+	}
+	// Processes that became disabled are no longer owed either.
+	if len(rc.pending) > 0 {
+		for p := range rc.pending {
+			if rc.alg.EnabledRule(next.View(p)) == 0 {
+				delete(rc.pending, p)
+			}
+		}
+	}
+	if len(rc.pending) == 0 {
+		rc.rounds++
+		rc.prime(next)
+	}
+}
+
+// Prime resets the counter's watch set from cfg without touching the
+// round count (for use without Attach).
+func (rc *RoundCounter[S]) Prime(cfg Config[S]) { rc.prime(cfg) }
+
+// ConvergenceRounds runs sim until pred holds (or maxSteps transitions)
+// and returns both the step and round counts consumed.
+func ConvergenceRounds[S comparable](sim *Simulator[S], pred func(Config[S]) bool, maxSteps int) (steps, rounds int, ok bool) {
+	rc := NewRoundCounter[S](sim.Algorithm())
+	rc.Attach(sim)
+	steps, ok = sim.RunUntil(pred, maxSteps)
+	return steps, rc.Rounds(), ok
+}

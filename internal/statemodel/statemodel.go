@@ -1,0 +1,325 @@
+// Package statemodel implements the computational model of the paper:
+// guarded-command distributed algorithms on bidirectional ring networks
+// under the state-reading communication model and the composite atomicity
+// execution model (Section 2.1 of Kakugawa–Kamei–Katayama, IJNC 2022).
+//
+// An algorithm is a set of prioritized guarded commands per process. A
+// configuration is the vector of all local states. At each step a daemon
+// (scheduler) selects a nonempty subset of the enabled processes; every
+// selected process atomically reads its own state and the states of its two
+// ring neighbors, evaluates its highest-priority enabled rule, and writes
+// its new local state. All selected processes move simultaneously on the
+// *old* configuration, exactly as the relation γt → γt+1 in the paper.
+//
+// The framework is generic over the local state type S, which must be
+// comparable so that configurations can be used as map keys by the
+// exhaustive model checker.
+package statemodel
+
+import "fmt"
+
+// View is the read set of one process in the state-reading model: its own
+// local state and the local states of its predecessor (P_{i-1 mod n}) and
+// successor (P_{i+1 mod n}). Guards and commands may depend only on a View;
+// the type system thus enforces the locality of the model.
+type View[S comparable] struct {
+	// I is the index of the process owning this view, in [0, N).
+	I int
+	// N is the ring size.
+	N int
+	// Self is the local state q_i.
+	Self S
+	// Pred is the predecessor state q_{i-1 mod n}.
+	Pred S
+	// Succ is the successor state q_{i+1 mod n}.
+	Succ S
+}
+
+// Bottom reports whether the view belongs to the distinguished bottom
+// process P_0.
+func (v View[S]) Bottom() bool { return v.I == 0 }
+
+// Algorithm describes a guarded-command algorithm on a bidirectional ring.
+// Rules are numbered 1..Rules() and a smaller number has higher priority:
+// EnabledRule must return the smallest enabled rule number, so a process is
+// enabled by at most one rule (as in Algorithm 3 of the paper).
+type Algorithm[S comparable] interface {
+	// Name returns a short human-readable algorithm name.
+	Name() string
+	// N returns the ring size the algorithm instance is configured for.
+	N() int
+	// Rules returns the number of rules. Rule identifiers are 1-based.
+	Rules() int
+	// EnabledRule returns the highest-priority (smallest-numbered) rule
+	// whose guard holds in v, or 0 if the process is not enabled.
+	EnabledRule(v View[S]) int
+	// Apply executes the command of the given rule and returns the new
+	// local state. It must be called only with a rule returned by
+	// EnabledRule for the same view.
+	Apply(v View[S], rule int) S
+}
+
+// Config is a configuration: the n-tuple of local states (q_0, …, q_{n-1}).
+type Config[S comparable] []S
+
+// View builds the read set of process i in configuration c.
+func (c Config[S]) View(i int) View[S] {
+	n := len(c)
+	return View[S]{
+		I:    i,
+		N:    n,
+		Self: c[i],
+		Pred: c[(i-1+n)%n],
+		Succ: c[(i+1)%n],
+	}
+}
+
+// Clone returns an independent copy of the configuration.
+func (c Config[S]) Clone() Config[S] {
+	out := make(Config[S], len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two configurations are identical.
+func (c Config[S]) Equal(d Config[S]) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Move identifies one process executing one rule in a step.
+type Move struct {
+	// Process is the index of the moving process.
+	Process int
+	// Rule is the 1-based rule number it executes.
+	Rule int
+}
+
+func (m Move) String() string { return fmt.Sprintf("P%d/R%d", m.Process, m.Rule) }
+
+// Enabled returns, in increasing process order, the set of enabled moves of
+// configuration c under algorithm alg: one Move per enabled process,
+// carrying its unique highest-priority enabled rule.
+func Enabled[S comparable](alg Algorithm[S], c Config[S]) []Move {
+	var moves []Move
+	for i := range c {
+		if r := alg.EnabledRule(c.View(i)); r != 0 {
+			moves = append(moves, Move{Process: i, Rule: r})
+		}
+	}
+	return moves
+}
+
+// Apply computes the successor configuration when exactly the processes in
+// moves execute their rules simultaneously (composite atomicity: every
+// command reads the old configuration). It returns a new configuration and
+// leaves c untouched.
+//
+// Apply panics if a move's rule is not the enabled rule of its process —
+// that would mean the daemon invented a transition the model does not have.
+func Apply[S comparable](alg Algorithm[S], c Config[S], moves []Move) Config[S] {
+	next := c.Clone()
+	for _, m := range moves {
+		v := c.View(m.Process)
+		if got := alg.EnabledRule(v); got != m.Rule {
+			panic(fmt.Sprintf("statemodel: process %d: move claims rule %d but enabled rule is %d",
+				m.Process, m.Rule, got))
+		}
+		next[m.Process] = alg.Apply(v, m.Rule)
+	}
+	return next
+}
+
+// Daemon is a process scheduler. Given the nonempty set of enabled moves of
+// the current configuration it selects a nonempty subset to execute. The
+// returned slice must be a subset of enabled (same Move values); Step
+// verifies this.
+//
+// The daemons of the paper are all expressible: the central daemon returns
+// exactly one move, the distributed daemon any nonempty subset. Unfairness
+// is the default — nothing obliges a daemon to ever pick a continuously
+// enabled process.
+type Daemon interface {
+	// Name returns a short scheduler name for reports.
+	Name() string
+	// Select picks a nonempty subset of enabled. enabled is never empty.
+	// Implementations must not retain or mutate the enabled slice.
+	Select(enabled []Move) []Move
+}
+
+// Simulator drives an execution γ0, γ1, … of an algorithm under a daemon.
+type Simulator[S comparable] struct {
+	alg    Algorithm[S]
+	daemon Daemon
+	cfg    Config[S]
+	steps  int
+
+	// OnStep, when non-nil, is invoked after every transition with the
+	// step index (1 for the first transition), the moves executed, and the
+	// resulting configuration. Hooks must not mutate cfg.
+	OnStep func(step int, moves []Move, cfg Config[S])
+}
+
+// NewSimulator returns a simulator positioned at the initial configuration
+// init. The initial configuration is copied.
+func NewSimulator[S comparable](alg Algorithm[S], d Daemon, init Config[S]) *Simulator[S] {
+	if alg.N() != len(init) {
+		panic(fmt.Sprintf("statemodel: algorithm ring size %d != configuration length %d", alg.N(), len(init)))
+	}
+	return &Simulator[S]{alg: alg, daemon: d, cfg: init.Clone()}
+}
+
+// Config returns a copy of the current configuration.
+func (s *Simulator[S]) Config() Config[S] { return s.cfg.Clone() }
+
+// Steps returns the number of transitions executed so far.
+func (s *Simulator[S]) Steps() int { return s.steps }
+
+// Algorithm returns the simulated algorithm.
+func (s *Simulator[S]) Algorithm() Algorithm[S] { return s.alg }
+
+// Enabled returns the enabled moves of the current configuration.
+func (s *Simulator[S]) Enabled() []Move { return Enabled(s.alg, s.cfg) }
+
+// Step performs one transition. It returns the executed moves and true, or
+// nil and false when no process is enabled (a deadlock — which Lemma 4 of
+// the paper rules out for SSRmin, but other algorithms may reach one).
+func (s *Simulator[S]) Step() ([]Move, bool) {
+	enabled := Enabled(s.alg, s.cfg)
+	if len(enabled) == 0 {
+		return nil, false
+	}
+	sel := s.daemon.Select(enabled)
+	validateSelection(enabled, sel)
+	s.cfg = Apply(s.alg, s.cfg, sel)
+	s.steps++
+	if s.OnStep != nil {
+		s.OnStep(s.steps, sel, s.cfg)
+	}
+	return sel, true
+}
+
+// RunUntil steps the simulation until pred holds for the current
+// configuration or maxSteps further transitions were made. It returns the
+// number of transitions performed by this call and whether pred was
+// reached. The predicate is also checked before the first step, so a call
+// on an already-satisfying configuration returns (0, true).
+func (s *Simulator[S]) RunUntil(pred func(Config[S]) bool, maxSteps int) (int, bool) {
+	done := 0
+	for {
+		if pred(s.cfg) {
+			return done, true
+		}
+		if done >= maxSteps {
+			return done, false
+		}
+		if _, ok := s.Step(); !ok {
+			return done, false
+		}
+		done++
+	}
+}
+
+// Run performs exactly maxSteps transitions (or fewer on deadlock) and
+// returns the number performed.
+func (s *Simulator[S]) Run(maxSteps int) int {
+	done := 0
+	for done < maxSteps {
+		if _, ok := s.Step(); !ok {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+func validateSelection(enabled, sel []Move) {
+	if len(sel) == 0 {
+		panic("statemodel: daemon selected the empty set")
+	}
+	allowed := make(map[Move]bool, len(enabled))
+	for _, m := range enabled {
+		allowed[m] = true
+	}
+	seen := make(map[Move]bool, len(sel))
+	for _, m := range sel {
+		if !allowed[m] {
+			panic(fmt.Sprintf("statemodel: daemon selected %v which is not enabled", m))
+		}
+		if seen[m] {
+			panic(fmt.Sprintf("statemodel: daemon selected %v twice", m))
+		}
+		seen[m] = true
+	}
+}
+
+// Schedule is a recorded sequence of daemon selections, one entry per
+// transition. Captured schedules replay executions exactly — for golden
+// tests, worst-case reproduction, and bug reports.
+type Schedule [][]Move
+
+// RecordingDaemon wraps a daemon and records every selection it makes.
+type RecordingDaemon struct {
+	// Inner is the wrapped scheduler.
+	Inner Daemon
+	// Schedule accumulates the selections.
+	Schedule Schedule
+}
+
+// Name implements Daemon.
+func (d *RecordingDaemon) Name() string { return d.Inner.Name() + "+rec" }
+
+// Select implements Daemon.
+func (d *RecordingDaemon) Select(enabled []Move) []Move {
+	sel := d.Inner.Select(enabled)
+	cp := make([]Move, len(sel))
+	copy(cp, sel)
+	d.Schedule = append(d.Schedule, cp)
+	return sel
+}
+
+// ReplayDaemon replays a recorded schedule. Once the schedule is
+// exhausted, or when a recorded selection is not currently enabled (the
+// replayed execution diverged — usually a bug in the caller), Select
+// panics: a replay must be exact or it is meaningless.
+type ReplayDaemon struct {
+	schedule Schedule
+	step     int
+}
+
+// NewReplay returns a daemon replaying s.
+func NewReplay(s Schedule) *ReplayDaemon { return &ReplayDaemon{schedule: s} }
+
+// Name implements Daemon.
+func (d *ReplayDaemon) Name() string { return "replay" }
+
+// Remaining returns the number of unconsumed schedule entries.
+func (d *ReplayDaemon) Remaining() int { return len(d.schedule) - d.step }
+
+// Select implements Daemon.
+func (d *ReplayDaemon) Select(enabled []Move) []Move {
+	if d.step >= len(d.schedule) {
+		panic("statemodel: replay schedule exhausted")
+	}
+	want := d.schedule[d.step]
+	d.step++
+	allowed := make(map[Move]bool, len(enabled))
+	for _, m := range enabled {
+		allowed[m] = true
+	}
+	out := make([]Move, len(want))
+	for i, m := range want {
+		if !allowed[m] {
+			panic(fmt.Sprintf("statemodel: replay diverged at step %d: %v not enabled", d.step, m))
+		}
+		out[i] = m
+	}
+	return out
+}

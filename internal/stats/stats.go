@@ -1,0 +1,283 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: summary statistics, percentiles, histograms, and
+// least-squares polynomial fits used to check the O(n²) convergence shape
+// of Theorem 2 against measured step counts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual five-ish numbers of a sample.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Stddev   float64
+	Median   float64
+	P90, P99 float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	s.P90 = Percentile(xs, 90)
+	s.P99 = Percentile(xs, 99)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g mean=%.4g median=%.4g p90=%.4g p99=%.4g max=%.4g sd=%.4g",
+		s.N, s.Min, s.Mean, s.Median, s.P90, s.P99, s.Max, s.Stddev)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts an int sample to float64 for the other helpers.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Histogram builds a fixed-width histogram with the given number of
+// buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Buckets  []int
+	Under    int // samples below Min
+	Over     int // samples above Max
+}
+
+// NewHistogram creates a histogram. buckets must be positive and max > min.
+func NewHistogram(min, max float64, buckets int) *Histogram {
+	if buckets <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: bad histogram bounds [%v,%v]/%d", min, max, buckets))
+	}
+	return &Histogram{Min: min, Max: max, Buckets: make([]int, buckets)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x > h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) {
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width.
+func (h *Histogram) Render(width int) string {
+	var b strings.Builder
+	max := 1
+	for _, c := range h.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	span := (h.Max - h.Min) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %6d %s\n", h.Min+float64(i)*span, h.Min+float64(i+1)*span, c, bar)
+	}
+	return b.String()
+}
+
+// PolyFit fits y ≈ Σ coef[j]·x^j of the given degree by least squares,
+// solving the normal equations with Gaussian elimination. It returns the
+// coefficients lowest-degree first. It panics if the system is singular
+// (e.g. fewer distinct x values than degree+1).
+func PolyFit(xs, ys []float64, degree int) []float64 {
+	if len(xs) != len(ys) {
+		panic("stats: PolyFit length mismatch")
+	}
+	m := degree + 1
+	if len(xs) < m {
+		panic("stats: PolyFit needs at least degree+1 points")
+	}
+	// Normal equations: A·coef = b with A[j][k] = Σ x^(j+k), b[j] = Σ y·x^j.
+	pow := make([]float64, 2*m-1)
+	for _, x := range xs {
+		p := 1.0
+		for j := range pow {
+			pow[j] += p
+			p *= x
+		}
+	}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for j := 0; j < m; j++ {
+		a[j] = make([]float64, m)
+		for k := 0; k < m; k++ {
+			a[j][k] = pow[j+k]
+		}
+	}
+	for i, x := range xs {
+		p := 1.0
+		for j := 0; j < m; j++ {
+			b[j] += ys[i] * p
+			p *= x
+		}
+	}
+	return solve(a, b)
+}
+
+// EvalPoly evaluates a coefficient vector (lowest-degree first) at x.
+func EvalPoly(coef []float64, x float64) float64 {
+	y := 0.0
+	for j := len(coef) - 1; j >= 0; j-- {
+		y = y*x + coef[j]
+	}
+	return y
+}
+
+// RSquared returns the coefficient of determination of the fit coef on
+// (xs, ys).
+func RSquared(coef []float64, xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: RSquared length mismatch")
+	}
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	ssRes, ssTot := 0.0, 0.0
+	for i, x := range xs {
+		d := ys[i] - EvalPoly(coef, x)
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// GrowthExponent estimates the exponent b of y ≈ a·x^b by linear
+// regression on log–log scale. All inputs must be positive. The
+// convergence experiment uses it to confirm that worst-case step counts
+// grow roughly quadratically in n.
+func GrowthExponent(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: GrowthExponent needs ≥2 points")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: GrowthExponent needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	coef := PolyFit(lx, ly, 1)
+	return coef[1]
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b.
+func solve(a [][]float64, b []float64) []float64 {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			panic("stats: singular system in PolyFit")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate.
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for k := col; k < m; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		x[r] = b[r]
+		for k := r + 1; k < m; k++ {
+			x[r] -= a[r][k] * x[k]
+		}
+		x[r] /= a[r][r]
+	}
+	return x
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting the file when the
+// test runs with -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s mismatch.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFiles(t *testing.T) {
+	rec := runSSRmin(t, 15)
+
+	var full strings.Builder
+	if err := RenderSSRmin(&full, rec); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure4.txt", full.String())
+
+	var tokens strings.Builder
+	if err := RenderTokens(&tokens, rec); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure1.txt", tokens.String())
+
+	var csv strings.Builder
+	if err := WriteCSV(&csv, rec); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure4.csv", csv.String())
+}

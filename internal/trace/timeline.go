@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ssrmin/internal/verify"
+)
+
+// RenderTimeline draws a closed census timeline as an ASCII strip of the
+// given width: one character per time bucket, sampled at the bucket start.
+//
+//	'·'  zero holders (a mutual-inclusion violation)
+//	'1'…'9' the census
+//	'+'  ten or more
+//	' '  before the first record
+//
+// A scale line with the start and end times is printed underneath. The
+// figures 11–13 comparisons use it to make the gap visible at a glance:
+// SSToken strips are full of '·', SSRmin strips never contain one.
+func RenderTimeline(w io.Writer, tl *verify.Timeline, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	span := tl.Span()
+	if span <= 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	start := tl.End() - span
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		t := start + span*float64(i)/float64(width)
+		b.WriteByte(glyph(tl.At(t)))
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", b.String()); err != nil {
+		return err
+	}
+	label := fmt.Sprintf("%-12s%s", fmt.Sprintf("%.2fs", start), fmt.Sprintf("%*s", width-12, fmt.Sprintf("%.2fs", start+span)))
+	_, err := fmt.Fprintf(w, "%s\n", label)
+	return err
+}
+
+func glyph(count int) byte {
+	switch {
+	case count < 0:
+		return ' '
+	case count == 0:
+		return '.'
+	case count < 10:
+		return byte('0' + count)
+	default:
+		return '+'
+	}
+}

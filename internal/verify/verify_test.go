@@ -1,0 +1,224 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/statemodel"
+)
+
+func TestCountOnLegitimateConfigs(t *testing.T) {
+	a := core.New(5, 6)
+	for _, c := range a.LegitimateConfigs() {
+		tc := Count(c)
+		if tc.Primary != 1 || tc.Secondary != 1 {
+			t.Fatalf("Count(%v) = %+v, want exactly one of each token", c, tc)
+		}
+		if tc.Privileged < 1 || tc.Privileged > 2 {
+			t.Fatalf("Count(%v).Privileged = %d", c, tc.Privileged)
+		}
+		if !SSRminBounds.Check(tc.Privileged) {
+			t.Fatalf("SSRminBounds rejected %d", tc.Privileged)
+		}
+		if !NeighborsOrSame(c) {
+			t.Fatalf("holders of %v not neighbors", c)
+		}
+	}
+}
+
+func TestCountSeparatesHolders(t *testing.T) {
+	a := core.New(3, 4)
+	// γ2: P0 = x.1.0 (primary+announced secondary... the secondary moved),
+	// P1 = x.0.1 (secondary holder).
+	c := statemodel.Config[core.State]{
+		{X: 0, RTS: true}, {X: 0, TRA: true}, {X: 0},
+	}
+	tc := Count(c)
+	if tc.Primary != 1 || tc.Secondary != 1 || tc.Privileged != 2 {
+		t.Fatalf("Count = %+v, want 1/1/2", tc)
+	}
+	if !a.Legitimate(c) {
+		t.Fatal("γ2 form should be legitimate")
+	}
+}
+
+func TestCSBounds(t *testing.T) {
+	if MutualInclusion.Check(0) {
+		t.Error("mutual inclusion must reject 0")
+	}
+	if !MutualInclusion.Check(5) {
+		t.Error("mutual inclusion must accept 5")
+	}
+	me := CSBounds{L: 0, K: 1}
+	if me.Check(2) || !me.Check(0) || !me.Check(1) {
+		t.Error("mutual exclusion bounds wrong")
+	}
+	if SSRminBounds.String() != "(1,2)-CS" {
+		t.Errorf("String = %q", SSRminBounds.String())
+	}
+}
+
+func TestMonitor(t *testing.T) {
+	m := Monitor{Bounds: SSRminBounds}
+	m.Observe(0, 1)
+	m.Observe(1, 2)
+	m.Observe(2, 0)
+	m.Observe(3, 3)
+	if m.OK() {
+		t.Error("monitor missed violations")
+	}
+	if m.Observed() != 4 {
+		t.Errorf("Observed = %d", m.Observed())
+	}
+	if len(m.Violations) != 2 {
+		t.Fatalf("Violations = %v", m.Violations)
+	}
+	if m.Violations[0].Privileged != 0 || m.Violations[1].Privileged != 3 {
+		t.Errorf("Violations = %v", m.Violations)
+	}
+	if m.Violations[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestTimelineDurations(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 1)
+	tl.Record(2, 2)
+	tl.Record(3, 2) // duplicate count collapses
+	tl.Record(5, 0)
+	tl.Record(6, 1)
+	tl.Close(10)
+
+	if got := tl.Span(); got != 10 {
+		t.Errorf("Span = %v", got)
+	}
+	if got := tl.Duration(1); got != 2+4 {
+		t.Errorf("Duration(1) = %v, want 6", got)
+	}
+	if got := tl.Duration(2); got != 3 {
+		t.Errorf("Duration(2) = %v, want 3", got)
+	}
+	if got := tl.Duration(0); got != 1 {
+		t.Errorf("Duration(0) = %v, want 1", got)
+	}
+	if got := tl.Fraction(2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Fraction(2) = %v, want 0.3", got)
+	}
+	if got := tl.MinCount(); got != 0 {
+		t.Errorf("MinCount = %d", got)
+	}
+	if got := tl.MaxCount(); got != 2 {
+		t.Errorf("MaxCount = %d", got)
+	}
+	counts := tl.Counts()
+	if len(counts) != 3 || counts[0] != 0 || counts[2] != 2 {
+		t.Errorf("Counts = %v", counts)
+	}
+	ivs := tl.Intervals(1)
+	if len(ivs) != 2 || ivs[0].Len() != 2 || ivs[1].Len() != 4 {
+		t.Errorf("Intervals(1) = %v", ivs)
+	}
+}
+
+func TestTimelineZeroLengthExcursion(t *testing.T) {
+	// An instantaneous dip to zero (two records at the same time) must not
+	// count as time at zero.
+	var tl Timeline
+	tl.Record(0, 1)
+	tl.Record(5, 0)
+	tl.Record(5, 1)
+	tl.Close(10)
+	if got := tl.Duration(0); got != 0 {
+		t.Errorf("Duration(0) = %v, want 0", got)
+	}
+	if got := tl.MinCount(); got != 1 {
+		t.Errorf("MinCount = %d, want 1 (zero-length dip ignored)", got)
+	}
+}
+
+func TestTimelinePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("backwards time", func() {
+		var tl Timeline
+		tl.Record(5, 1)
+		tl.Record(4, 2)
+	})
+	assertPanics("duration before close", func() {
+		var tl Timeline
+		tl.Record(0, 1)
+		tl.Duration(1)
+	})
+	assertPanics("record after close", func() {
+		var tl Timeline
+		tl.Close(1)
+		tl.Record(2, 1)
+	})
+	assertPanics("close before last record", func() {
+		var tl Timeline
+		tl.Record(5, 1)
+		tl.Close(4)
+	})
+}
+
+func TestNeighborsOrSame(t *testing.T) {
+	// No token at all -> false.
+	c := statemodel.Config[core.State]{{X: 0}, {X: 0}, {X: 0}}
+	// n=3 all-equal x: P0 holds primary (G0), so actually one holder.
+	if !NeighborsOrSame(c) {
+		t.Error("single holder should pass")
+	}
+	// Wraparound adjacency: holders at n-1 and 0.
+	d := statemodel.Config[core.State]{
+		{X: 1, TRA: true}, {X: 1}, {X: 1}, {X: 0, RTS: true},
+	}
+	if !NeighborsOrSame(d) {
+		t.Error("wraparound neighbors should pass")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly = %v, want 0.25", got)
+	}
+	if got := JainFairness([]float64{0, 0}); got != 1 {
+		t.Errorf("all idle = %v, want 1", got)
+	}
+	if got := JainFairness(nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative value accepted")
+		}
+	}()
+	JainFairness([]float64{-1})
+}
+
+func TestAvailability(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 1)
+	tl.Record(6, 0)
+	tl.Record(8, 2)
+	tl.Close(10)
+	if got := Availability(&tl); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Availability = %v, want 0.8", got)
+	}
+	var empty Timeline
+	empty.Close(0)
+	if Availability(&empty) != 0 {
+		t.Error("empty availability should be 0")
+	}
+}

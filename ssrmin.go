@@ -1,0 +1,513 @@
+// Package ssrmin is a from-scratch Go implementation of the
+// self-stabilizing token circulation with graceful handover of
+// Kakugawa, Kamei and Katayama ("A self-stabilizing token circulation with
+// graceful handover on bidirectional ring networks", IJNC 12(1), 2022;
+// IPDPSW 2021).
+//
+// SSRmin solves the mutual inclusion problem — at least one process is
+// privileged at every instant — on bidirectional rings, by circulating a
+// primary and a secondary token like an inchworm on top of Dijkstra's
+// K-state ring. Its token predicates are model gap tolerant: after the
+// cached sensornet transform (CST), the guarantee "1 ≤ privileged ≤ 2"
+// survives in asynchronous message-passing networks, where plain token
+// rings pass through instants with no token at all.
+//
+// The package offers four execution vehicles over one algorithm core:
+//
+//   - Simulation: the state-reading/composite-atomicity model of the
+//     paper's proofs, under pluggable daemons (schedulers).
+//   - MPSimulation: a deterministic discrete-event simulation of the
+//     CST-transformed algorithm over lossy, delayed message links.
+//   - LiveRing: a real concurrent deployment — one goroutine per node,
+//     channels as links — for wall-clock applications such as the
+//     camera-network examples.
+//   - TCPRing: the algorithm as real network services over TCP sockets
+//     (see also cmd/ssrmin-node for multi-process/multi-machine rings).
+//
+// MultiSimulation composes m independent instances into a (m, 2m)-
+// critical-section system. The exhaustive model checker (used by the test
+// suite) and the experiment harness that regenerates every figure of the
+// paper live in cmd/ and internal/.
+package ssrmin
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/cst"
+	"ssrmin/internal/daemon"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/msgnet"
+	"ssrmin/internal/netring"
+	"ssrmin/internal/runtime"
+	"ssrmin/internal/statemodel"
+	"ssrmin/internal/trace"
+	"ssrmin/internal/verify"
+)
+
+// State is the local state of an SSRmin process: the Dijkstra counter X
+// and the rts/tra handshake bits.
+type State = core.State
+
+// Config is a configuration: one State per process.
+type Config = statemodel.Config[core.State]
+
+// View is a process's read set: its own and its ring neighbors' states.
+type View = statemodel.View[core.State]
+
+// Move identifies a process executing a rule.
+type Move = statemodel.Move
+
+// Algorithm is an SSRmin instance (ring size n, counter space K).
+type Algorithm = core.Algorithm
+
+// Daemon schedules enabled processes; see the With*Daemon options.
+type Daemon = statemodel.Daemon
+
+// TokenCount is a census of primary/secondary/privileged processes.
+type TokenCount = verify.TokenCount
+
+// New returns an SSRmin algorithm instance with n ≥ 3 processes and
+// counter space K > n.
+func New(n, k int) *Algorithm { return core.New(n, k) }
+
+// HasPrimary, HasSecondary and HasToken are the token conditions of
+// Algorithm 3, re-exported for use with the Holders/Census APIs.
+var (
+	HasPrimary   = core.HasPrimary
+	HasSecondary = core.HasSecondary
+	HasToken     = core.HasToken
+)
+
+// RandomConfig draws a uniformly random configuration for a.
+func RandomConfig(a *Algorithm, rng *rand.Rand) Config {
+	cfg := make(Config, a.N())
+	for i := range cfg {
+		cfg[i] = State{X: rng.Intn(a.K()), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+	}
+	return cfg
+}
+
+// Count returns the token census of cfg.
+func Count(cfg Config) TokenCount { return verify.Count(cfg) }
+
+// ---------------------------------------------------------------------------
+// State-reading simulation
+// ---------------------------------------------------------------------------
+
+// Simulation runs SSRmin in the state-reading model under a daemon.
+type Simulation struct {
+	alg *Algorithm
+	sim *statemodel.Simulator[core.State]
+	rec *trace.Recorder[core.State]
+}
+
+// SimOption configures NewSimulation.
+type SimOption func(*simConfig)
+
+type simConfig struct {
+	k       int
+	daemon  Daemon
+	initial Config
+	record  bool
+}
+
+// WithK sets the counter space (default n+1).
+func WithK(k int) SimOption { return func(c *simConfig) { c.k = k } }
+
+// WithDaemon installs a custom scheduler.
+func WithDaemon(d Daemon) SimOption { return func(c *simConfig) { c.daemon = d } }
+
+// WithInitial sets the initial configuration (default: the canonical
+// legitimate configuration with both tokens at P0).
+func WithInitial(cfg Config) SimOption {
+	return func(c *simConfig) { c.initial = cfg.Clone() }
+}
+
+// WithRecording enables trace capture for RenderTrace/RenderTokens.
+func WithRecording() SimOption { return func(c *simConfig) { c.record = true } }
+
+// CentralDaemon activates one random enabled process per step.
+func CentralDaemon(seed int64) Daemon {
+	return daemon.NewCentralRandom(rand.New(rand.NewSource(seed)))
+}
+
+// SynchronousDaemon activates every enabled process each step.
+func SynchronousDaemon() Daemon { return daemon.Synchronous{} }
+
+// DistributedDaemon activates each enabled process with probability p.
+func DistributedDaemon(seed int64, p float64) Daemon {
+	return daemon.NewRandomSubset(rand.New(rand.NewSource(seed)), p)
+}
+
+// AdversarialQuietDaemon prefers the non-Dijkstra rules (1, 3, 5),
+// delaying real token progress as long as Lemma 5 permits.
+func AdversarialQuietDaemon(seed int64) Daemon {
+	return daemon.NewRuleBiased(rand.New(rand.NewSource(seed)),
+		core.RuleReadySecondary, core.RuleRecvSecondary, core.RuleFixNoG)
+}
+
+// StarvingDaemon never schedules the victim processes unless they are the
+// only enabled ones — an unfairness witness.
+func StarvingDaemon(seed int64, victims ...int) Daemon {
+	return daemon.NewStarver(rand.New(rand.NewSource(seed)), victims...)
+}
+
+// NewSimulation builds a state-reading simulation of SSRmin with n
+// processes. Defaults: K = n+1, a seeded central daemon, the canonical
+// legitimate initial configuration.
+func NewSimulation(n int, opts ...SimOption) *Simulation {
+	c := simConfig{k: n + 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	alg := core.New(n, c.k)
+	if c.daemon == nil {
+		c.daemon = CentralDaemon(1)
+	}
+	if c.initial == nil {
+		c.initial = alg.InitialLegitimate()
+	}
+	s := &Simulation{alg: alg, sim: statemodel.NewSimulator[core.State](alg, c.daemon, c.initial)}
+	if c.record {
+		s.rec = &trace.Recorder[core.State]{}
+		s.rec.Attach(s.sim)
+	}
+	return s
+}
+
+// Algorithm returns the underlying algorithm instance.
+func (s *Simulation) Algorithm() *Algorithm { return s.alg }
+
+// Config returns a copy of the current configuration.
+func (s *Simulation) Config() Config { return s.sim.Config() }
+
+// Steps returns the number of transitions executed.
+func (s *Simulation) Steps() int { return s.sim.Steps() }
+
+// Enabled returns the currently enabled moves.
+func (s *Simulation) Enabled() []Move { return s.sim.Enabled() }
+
+// Step performs one transition; ok is false on deadlock (which Lemma 4
+// rules out for SSRmin).
+func (s *Simulation) Step() (moves []Move, ok bool) { return s.sim.Step() }
+
+// Run performs up to maxSteps transitions and returns how many ran.
+func (s *Simulation) Run(maxSteps int) int { return s.sim.Run(maxSteps) }
+
+// RunUntilLegitimate steps until the configuration is legitimate
+// (Definition 1) or maxSteps transitions elapsed; it returns the number of
+// steps taken and whether legitimacy was reached.
+func (s *Simulation) RunUntilLegitimate(maxSteps int) (int, bool) {
+	return s.sim.RunUntil(s.alg.Legitimate, maxSteps)
+}
+
+// Legitimate reports whether the current configuration is legitimate.
+func (s *Simulation) Legitimate() bool { return s.alg.Legitimate(s.sim.Config()) }
+
+// Holders returns the indices of the currently privileged processes.
+func (s *Simulation) Holders() []int { return s.alg.TokenHolders(s.sim.Config()) }
+
+// Census returns the current token census.
+func (s *Simulation) Census() TokenCount { return verify.Count(s.sim.Config()) }
+
+// RenderTrace writes the recorded execution as a Figure-4 style table.
+// The simulation must have been created WithRecording.
+func (s *Simulation) RenderTrace(w io.Writer) error {
+	if s.rec == nil {
+		return fmt.Errorf("ssrmin: simulation was not created WithRecording")
+	}
+	return trace.RenderSSRmin(w, s.rec)
+}
+
+// RenderTokens writes the recorded execution as a Figure-1 style table
+// (token positions only).
+func (s *Simulation) RenderTokens(w io.Writer) error {
+	if s.rec == nil {
+		return fmt.Errorf("ssrmin: simulation was not created WithRecording")
+	}
+	return trace.RenderTokens(w, s.rec)
+}
+
+// WriteCSV exports the recorded execution as CSV.
+func (s *Simulation) WriteCSV(w io.Writer) error {
+	if s.rec == nil {
+		return fmt.Errorf("ssrmin: simulation was not created WithRecording")
+	}
+	return trace.WriteCSV(w, s.rec)
+}
+
+// ---------------------------------------------------------------------------
+// Message-passing simulation (CST over a discrete-event network)
+// ---------------------------------------------------------------------------
+
+// MPOptions configures a message-passing simulation.
+type MPOptions struct {
+	// K is the counter space (default n+1).
+	K int
+	// Delay is the base link delay in simulated seconds (default 0.01).
+	Delay float64
+	// Jitter is the uniform extra delay bound (default Delay/5).
+	Jitter float64
+	// LossProb is the per-message loss probability.
+	LossProb float64
+	// Refresh is the periodic announcement interval (default 5×Delay).
+	Refresh float64
+	// Hold is the critical-section dwell before executing an enabled rule.
+	Hold float64
+	// Seed drives all randomness.
+	Seed int64
+	// Initial is the starting configuration (default: canonical
+	// legitimate).
+	Initial Config
+	// CoherentCaches seeds caches with true neighbor states (default
+	// true). Set false together with Initial for Theorem-4 style runs.
+	IncoherentCaches bool
+}
+
+// MPSimulation is a CST-transformed SSRmin ring over the discrete-event
+// network, with a token-census timeline attached.
+type MPSimulation struct {
+	alg  *Algorithm
+	ring *cst.Ring[core.State]
+	tl   verify.Timeline
+	done bool
+}
+
+// NewMPSimulation builds the message-passing simulation.
+func NewMPSimulation(n int, opts MPOptions) *MPSimulation {
+	if opts.K == 0 {
+		opts.K = n + 1
+	}
+	if opts.Delay == 0 {
+		opts.Delay = 0.01
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = opts.Delay / 5
+	}
+	if opts.Refresh == 0 {
+		opts.Refresh = 5 * opts.Delay
+	}
+	alg := core.New(n, opts.K)
+	init := opts.Initial
+	if init == nil {
+		init = alg.InitialLegitimate()
+	}
+	ring := cst.NewRing[core.State](alg, init, cst.Options[core.State]{
+		Link: msgnet.LinkParams{
+			Delay:    msgnet.Time(opts.Delay),
+			Jitter:   msgnet.Time(opts.Jitter),
+			LossProb: opts.LossProb,
+		},
+		Refresh:        msgnet.Time(opts.Refresh),
+		Hold:           msgnet.Time(opts.Hold),
+		Seed:           opts.Seed,
+		CoherentCaches: !opts.IncoherentCaches,
+		RandomState: func(rng *rand.Rand) State {
+			return State{X: rng.Intn(opts.K), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+		},
+	})
+	m := &MPSimulation{alg: alg, ring: ring}
+	ring.Net.Observer = func(now msgnet.Time) {
+		m.tl.Record(float64(now), ring.Census(core.HasToken))
+	}
+	return m
+}
+
+// Run advances simulated time to the given horizon (seconds).
+func (m *MPSimulation) Run(until float64) {
+	m.ring.Net.Run(msgnet.Time(until))
+}
+
+// Timeline closes and returns the census timeline. The simulation must not
+// be advanced afterwards.
+func (m *MPSimulation) Timeline() *verify.Timeline {
+	if !m.done {
+		m.tl.Close(float64(m.ring.Net.Now()))
+		m.done = true
+	}
+	return &m.tl
+}
+
+// Census returns the current number of privileged nodes (as perceived
+// through the nodes' caches).
+func (m *MPSimulation) Census() int { return m.ring.Census(core.HasToken) }
+
+// Holders returns the ids of currently privileged nodes.
+func (m *MPSimulation) Holders() []int { return m.ring.Holders(core.HasToken) }
+
+// States returns the vector of true node states.
+func (m *MPSimulation) States() Config { return m.ring.States() }
+
+// Coherent reports whether all caches match the neighbors' true states.
+func (m *MPSimulation) Coherent() bool { return m.ring.Coherent() }
+
+// RuleExecutions returns the total number of rules executed.
+func (m *MPSimulation) RuleExecutions() int { return m.ring.RuleExecutions() }
+
+// MessagesSent returns the number of messages that entered a link.
+func (m *MPSimulation) MessagesSent() int { return m.ring.Net.Stats().Sent }
+
+// Ring exposes the underlying CST ring for advanced use (fault injection,
+// custom observers).
+func (m *MPSimulation) Ring() *cst.Ring[core.State] { return m.ring }
+
+// ---------------------------------------------------------------------------
+// Live goroutine/channel deployment
+// ---------------------------------------------------------------------------
+
+// LiveOptions configures a live ring.
+type LiveOptions struct {
+	// K is the counter space (default n+1).
+	K int
+	// Delay, Jitter, LossProb and Refresh mirror MPOptions in wall-clock
+	// time. Defaults: 1ms delay, 200µs jitter, no loss, 5ms refresh.
+	Delay, Jitter, Refresh time.Duration
+	LossProb               float64
+	// Seed drives all randomness.
+	Seed int64
+	// Initial is the starting configuration (default canonical
+	// legitimate); IncoherentCaches seeds caches arbitrarily.
+	Initial          Config
+	IncoherentCaches bool
+}
+
+// LiveRing is a running SSRmin deployment: one goroutine per node, Go
+// channels as one-message-per-direction links.
+type LiveRing struct {
+	alg  *Algorithm
+	ring *runtime.Ring[core.State]
+}
+
+// NewLiveRing builds (but does not start) a live ring.
+func NewLiveRing(n int, opts LiveOptions) *LiveRing {
+	if opts.K == 0 {
+		opts.K = n + 1
+	}
+	if opts.Delay == 0 {
+		opts.Delay = time.Millisecond
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 200 * time.Microsecond
+	}
+	if opts.Refresh == 0 {
+		opts.Refresh = 5 * time.Millisecond
+	}
+	alg := core.New(n, opts.K)
+	init := opts.Initial
+	if init == nil {
+		init = alg.InitialLegitimate()
+	}
+	ropts := runtime.Options[core.State]{
+		Delay:          opts.Delay,
+		Jitter:         opts.Jitter,
+		LossProb:       opts.LossProb,
+		Refresh:        opts.Refresh,
+		Seed:           opts.Seed,
+		CoherentCaches: !opts.IncoherentCaches,
+	}
+	if opts.IncoherentCaches {
+		ropts.RandomState = func(rng *rand.Rand) State {
+			return State{X: rng.Intn(opts.K), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+		}
+	}
+	return &LiveRing{alg: alg, ring: runtime.NewRing[core.State](alg, init, ropts)}
+}
+
+// OnPrivilege installs an application callback invoked (from node
+// goroutines) whenever a node's privilege changes. Must be called before
+// Start.
+func (l *LiveRing) OnPrivilege(cb func(node int, privileged bool)) {
+	l.ring.SetPrivilegeCallback(core.HasToken, cb)
+}
+
+// Start launches the ring.
+func (l *LiveRing) Start() { l.ring.Start() }
+
+// Stop terminates all goroutines and waits for them.
+func (l *LiveRing) Stop() { l.ring.Stop() }
+
+// Inject overwrites a node's local state at runtime — a live transient
+// fault the ring must (and will) self-stabilize away from.
+func (l *LiveRing) Inject(node int, s State) bool { return l.ring.Inject(node, s) }
+
+// Census returns the current number of privileged nodes.
+func (l *LiveRing) Census() int { return l.ring.Census(core.HasToken) }
+
+// Holders returns the ids of currently privileged nodes.
+func (l *LiveRing) Holders() []int { return l.ring.Holders(core.HasToken) }
+
+// RuleExecutions returns total rule executions so far.
+func (l *LiveRing) RuleExecutions() int64 { return l.ring.RuleExecutions() }
+
+// WatchCensus samples the census every interval for duration d and
+// returns the observed distribution.
+func (l *LiveRing) WatchCensus(d, interval time.Duration) runtime.CensusStats {
+	return l.ring.WatchCensus(core.HasToken, d, interval)
+}
+
+// Runtime exposes the underlying generic ring for advanced use.
+func (l *LiveRing) Runtime() *runtime.Ring[core.State] { return l.ring }
+
+// ---------------------------------------------------------------------------
+// Baseline: Dijkstra's SSToken
+// ---------------------------------------------------------------------------
+
+// DijkstraState is the local state of Dijkstra's K-state ring.
+type DijkstraState = dijkstra.State
+
+// NewSSToken returns Dijkstra's K-state token ring (the paper's base
+// algorithm and the Figure 11 baseline).
+func NewSSToken(n, k int) *dijkstra.Algorithm { return dijkstra.New(n, k) }
+
+// DijkstraHasToken is SSToken's token condition, for Census/Holders use.
+var DijkstraHasToken = dijkstra.HasToken
+
+// ---------------------------------------------------------------------------
+// TCP deployment
+// ---------------------------------------------------------------------------
+
+// TCPRing is an SSRmin ring deployed over real TCP sockets (loopback, one
+// node per goroutine set, newline-delimited JSON announcements) — the
+// closest analogue of the paper's sensor-network deployment. See
+// internal/netring for wiring nodes across processes or machines.
+type TCPRing struct {
+	ring *netring.Ring
+}
+
+// StartTCPRing launches an n-node SSRmin ring on loopback TCP with
+// ephemeral ports (K = n+1) and the given announcement refresh interval.
+func StartTCPRing(n int, refresh time.Duration) (*TCPRing, error) {
+	r, err := netring.StartLocalRing(n, n+1, refresh)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPRing{ring: r}, nil
+}
+
+// Stop terminates every node.
+func (t *TCPRing) Stop() { t.ring.Stop() }
+
+// Census returns the number of privileged nodes.
+func (t *TCPRing) Census() int { return t.ring.Census() }
+
+// Holders returns the privileged node indices.
+func (t *TCPRing) Holders() []int { return t.ring.Holders() }
+
+// RuleExecutions sums rule executions across the ring.
+func (t *TCPRing) RuleExecutions() int { return t.ring.RuleExecutions() }
+
+// Inject overwrites node i's state — a live transient fault.
+func (t *TCPRing) Inject(node int, s State) { t.ring.Nodes[node].Inject(s) }
+
+// Addrs returns each node's TCP listen address.
+func (t *TCPRing) Addrs() []string {
+	out := make([]string, len(t.ring.Nodes))
+	for i, n := range t.ring.Nodes {
+		out[i] = n.Addr()
+	}
+	return out
+}
