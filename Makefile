@@ -2,10 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench experiments \
-        experiments-quick modelcheck examples fmt vet clean
+.PHONY: all build test test-race test-race-core test-short cover bench \
+        bench-check experiments experiments-quick modelcheck modelcheck-n5 \
+        examples fmt vet clean
 
-all: build test
+all: build vet test test-race-core
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,11 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Race-check the concurrency-heavy packages (the parallel ID-space engine
+# and the sweep driver) without paying for the whole suite under -race.
+test-race-core:
+	$(GO) test -race ./internal/check ./internal/parsweep
+
 test-short:
 	$(GO) test -short ./...
 
@@ -25,6 +31,12 @@ cover:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+# Track the model checker's perf trajectory: run the checker + sweep
+# benchmarks and record (name, ns/op, allocs/op) in BENCH_check.json.
+bench-check:
+	$(GO) test -run '^$$' -bench 'ModelCheck|ParallelSweep' -benchmem . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_check.json
+
 # Regenerate every paper artifact + extension ablations (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/experiments
@@ -32,10 +44,16 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
-# Exhaustive verification of the paper's lemmas (n=3 in ms, n=4 in ~2s).
+# Exhaustive verification of the paper's lemmas on the compiled parallel
+# engine (n=3 in ms, n=4 in ~0.3s). Exits non-zero on any lemma violation.
 modelcheck:
 	$(GO) run ./cmd/modelcheck -n 3
 	$(GO) run ./cmd/modelcheck -n 4
+
+# The big instance: 24^5 ≈ 7.96M configurations, ~1 GiB bookkeeping,
+# minutes of CPU (scales with cores via -workers).
+modelcheck-n5:
+	$(GO) run ./cmd/modelcheck -n 5 -k 6
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -10,7 +10,9 @@ package ssrmin
 //	BenchmarkConvergenceSSToken Lemma 8:  baseline converges faster
 //	BenchmarkMPGracefulHandover Fig 13:   0 zero-token time for SSRmin
 //	BenchmarkMPSSToken          Fig 11:   large zero-token time for SSToken
-//	BenchmarkModelCheck         Lemmas:   exhaustive verification cost
+//	BenchmarkModelCheck         Lemmas:   exhaustive verification cost,
+//	                                      legacy vs table-compiled engine
+//	BenchmarkParallelSweepContention      atomic vs per-item dispatch cost
 //	BenchmarkRuleEvaluation     (micro)   guard evaluation cost
 //	BenchmarkDiscreteEvents     (micro)   simulator event throughput
 //	BenchmarkSynchronizer       §1.3:     α-synchronizer round throughput
@@ -158,20 +160,46 @@ func BenchmarkMPSSToken(b *testing.B) {
 	}
 }
 
-// BenchmarkModelCheck measures the exhaustive verification of the n=3
-// instance (4096 configurations, all daemon subsets).
+// BenchmarkModelCheck measures exhaustive verification (closure +
+// convergence longest-path) on the legacy Decode/Encode checker vs. the
+// table-compiled single-threaded engine, per instance. The engine's
+// speedup comes from the compiled transition tables alone here (workers =
+// 1); parallel scaling is on top.
 func BenchmarkModelCheck(b *testing.B) {
-	alg := core.New(3, 4)
-	for i := 0; i < b.N; i++ {
-		c := check.New[core.State](alg, 0)
-		rep := c.CheckClosure(alg.Legitimate)
-		if rep.Counterexample != nil {
-			b.Fatal("closure failed")
-		}
-		conv := c.CheckConvergence(alg.Legitimate)
-		if !conv.Converges || conv.WorstSteps != 16 {
-			b.Fatalf("convergence check wrong: %+v", conv.WorstSteps)
-		}
+	cases := []struct{ n, k, worst int }{{3, 4, 16}, {4, 5, 43}}
+	for _, tc := range cases {
+		alg := core.New(tc.n, tc.k)
+		b.Run(fmt.Sprintf("legacy/n=%d,K=%d", tc.n, tc.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := check.New[core.State](alg, 0)
+				rep := c.CheckClosure(alg.Legitimate)
+				if rep.Counterexample != nil {
+					b.Fatal("closure failed")
+				}
+				conv := c.CheckConvergence(alg.Legitimate)
+				if !conv.Converges || conv.WorstSteps != tc.worst {
+					b.Fatalf("convergence check wrong: %+v", conv.WorstSteps)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("engine/n=%d,K=%d", tc.n, tc.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := check.New[core.State](alg, 0)
+				e, err := c.Compile(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lam := e.LegitSet(alg.Legitimate)
+				rep := e.CheckClosure(lam)
+				if rep.Counterexample != nil {
+					b.Fatal("closure failed")
+				}
+				conv, _ := e.CheckConvergence(lam)
+				if !conv.Converges || conv.WorstSteps != tc.worst {
+					b.Fatalf("convergence check wrong: %+v", conv.WorstSteps)
+				}
+			}
+		})
 	}
 }
 
@@ -307,6 +335,24 @@ func BenchmarkParallelSweep(b *testing.B) {
 			parsweep.Map(64, 0, work)
 		}
 	})
+}
+
+// BenchmarkParallelSweepContention stresses the sweep driver's work-index
+// grab with tiny per-item work, where the dispatch cost dominates — the
+// case the lock-free atomic counter (vs. the old mutex) wins.
+func BenchmarkParallelSweepContention(b *testing.B) {
+	const items = 1 << 14
+	work := func(i int) int { return i * i }
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := parsweep.Map(items, workers, work)
+				if out[3] != 9 {
+					b.Fatal("wrong result")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkLiveRing measures wall-clock advance throughput of the real

@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` output into a JSON record
+// file so benchmark trajectories can be tracked across commits
+// (BENCH_check.json in this repository; see `make bench-check`). It reads
+// the benchmark output on stdin, echoes it unchanged to stdout, and writes
+// the parsed results to -o.
+//
+//	go test -run '^$' -bench 'ModelCheck|ParallelSweep' -benchmem . \
+//	    | go run ./cmd/benchjson -o BENCH_check.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_check.json", "output JSON file")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parse(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parse decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkModelCheck/engine/n=4,K=5-8  22  50729155 ns/op  5056 B/op  24 allocs/op
+func parse(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -288,6 +288,10 @@ const (
 func (c *Checker[S]) checkConvergenceRestricted(legit func(statemodel.Config[S]) bool, rules map[int]bool) (ConvergenceReport[S], map[uint64]int) {
 	var rep ConvergenceReport[S]
 	rep.Converges = true
+	// Tie-break WorstStart deterministically on the smallest configuration
+	// ID so the report is independent of DFS finalization order — and
+	// bit-identical to the table-compiled engine's.
+	worstID := ^uint64(0)
 
 	// Dense slice-backed bookkeeping: color takes one byte and dist four
 	// bytes per configuration, so even the n=5, K=6 instance of SSRmin
@@ -373,9 +377,10 @@ func (c *Checker[S]) checkConvergenceRestricted(legit func(statemodel.Config[S])
 				d = 0
 			}
 			setDist(f.id, d)
-			if d > rep.WorstSteps {
+			if d > rep.WorstSteps || (d == rep.WorstSteps && d > 0 && f.id < worstID) {
 				rep.WorstSteps = d
 				rep.WorstStart = c.Decode(f.id)
+				worstID = f.id
 			}
 			setColor(f.id, colorBlack)
 			stack = stack[:len(stack)-1]

@@ -1,0 +1,432 @@
+// The parallel ID-space engine: every pass of the model checker —
+// legitimate-set construction, no-deadlock, closure, invariant scans, and
+// the convergence longest-path analysis — reimplemented over compiled
+// transition tables (tables.go) and contiguous uint64 ID ranges sharded
+// across a worker pool. Reports are bit-identical to the legacy
+// Checker passes (differential_test.go pins this on every seed instance);
+// the speedup comes from eliminating Decode/Encode, View construction and
+// per-node map allocation from the hot path, and from near-linear scaling
+// of the scans with cores.
+package check
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"ssrmin/internal/parsweep"
+	"ssrmin/internal/statemodel"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// chunkRange is one contiguous, 64-aligned shard of the ID space.
+type chunkRange struct{ lo, hi uint64 }
+
+// chunks shards [0, total) into 64-aligned ranges, several per worker for
+// load balance.
+func (e *Engine[S]) chunks() []chunkRange {
+	target := uint64(e.workers * 4)
+	if target < 1 {
+		target = 1
+	}
+	step := (e.total + target - 1) / target
+	step = (step + 63) &^ 63 // keep shard boundaries word-aligned
+	if step == 0 {
+		step = 64
+	}
+	var out []chunkRange
+	for lo := uint64(0); lo < e.total; lo += step {
+		hi := lo + step
+		if hi > e.total {
+			hi = e.total
+		}
+		out = append(out, chunkRange{lo, hi})
+	}
+	return out
+}
+
+// scanRange walks ids in [lo, hi) maintaining the base-q digit odometer,
+// so per-ID digit extraction costs one increment instead of n divisions.
+func (e *Engine[S]) scanRange(lo, hi uint64, fn func(id uint64, digits []int)) {
+	digits := make([]int, e.n)
+	e.digitsOf(lo, digits)
+	for id := lo; id < hi; id++ {
+		fn(id, digits)
+		for i := 0; i < e.n; i++ {
+			digits[i]++
+			if digits[i] < e.q {
+				break
+			}
+			digits[i] = 0
+		}
+	}
+}
+
+// LegitSet evaluates the legitimacy predicate over the full space in
+// parallel and returns Λ as a bitmap. This is the only pass that decodes
+// configurations (once each, into a per-worker buffer); every other engine
+// pass tests Λ-membership by a single bit probe. The predicate must be
+// safe for concurrent use and must not retain its argument.
+func (e *Engine[S]) LegitSet(legit func(statemodel.Config[S]) bool) *IDSet {
+	set := newIDSet(e.total)
+	ch := e.chunks()
+	counts := parsweep.Map(len(ch), e.workers, func(ci int) uint64 {
+		cfg := make(statemodel.Config[S], e.n)
+		var cnt uint64
+		e.scanRange(ch[ci].lo, ch[ci].hi, func(id uint64, digits []int) {
+			for i, d := range digits {
+				cfg[i] = e.c.states[d]
+			}
+			if legit(cfg) {
+				set.set(id)
+				cnt++
+			}
+		})
+		return cnt
+	})
+	for _, c := range counts {
+		set.count += c
+	}
+	return set
+}
+
+// CheckNoDeadlock verifies in parallel that every configuration has an
+// enabled process; it returns a deadlocked configuration otherwise.
+func (e *Engine[S]) CheckNoDeadlock() (counterexample statemodel.Config[S], ok bool) {
+	var found atomic.Uint64 // id+1 of a counterexample; 0 = none
+	ch := e.chunks()
+	parsweep.Map(len(ch), e.workers, func(ci int) struct{} {
+		q, n := e.q, e.n
+		e.scanRange(ch[ci].lo, ch[ci].hi, func(id uint64, digits []int) {
+			if found.Load() != 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				t := (digits[(i+n-1)%n]*q+digits[i])*q + digits[(i+1)%n]
+				class := 0
+				if i != 0 {
+					class = 1
+				}
+				if e.rule[class][t] != 0 {
+					return
+				}
+			}
+			found.CompareAndSwap(0, id+1)
+		})
+		return struct{}{}
+	})
+	if id := found.Load(); id != 0 {
+		return e.c.Decode(id - 1), false
+	}
+	return nil, true
+}
+
+// CheckClosure verifies that every distributed-daemon successor of every
+// configuration in lam stays in lam, and reports |Λ| and the maximum
+// number of simultaneously enabled processes over Λ. Λ is tiny compared to
+// Γ (3nK for SSRmin), so the walk over its bitmap is sequential; each
+// member costs a handful of table probes and subset additions.
+func (e *Engine[S]) CheckClosure(lam *IDSet) ClosureReport[S] {
+	var rep ClosureReport[S]
+	rep.Legitimate = lam.Count()
+	digits := make([]int, e.n)
+	movers := make([]mover, 0, e.n)
+	lam.ForEach(func(id uint64) bool {
+		e.digitsOf(id, digits)
+		movers = e.enabledMoves(digits, e.allRules, movers[:0])
+		if len(movers) > rep.MaxEnabled {
+			rep.MaxEnabled = len(movers)
+		}
+		if len(movers) > maxSubsetMoves {
+			panic("check: too many enabled processes for subset enumeration")
+		}
+		for mask := 1; mask < 1<<uint(len(movers)); mask++ {
+			var d int64
+			for b := range movers {
+				if mask&(1<<uint(b)) != 0 {
+					d += movers[b].delta
+				}
+			}
+			if nid := uint64(int64(id) + d); !lam.Contains(nid) {
+				rep.Counterexample = e.c.Decode(id)
+				rep.Successor = e.c.Decode(nid)
+				return false
+			}
+		}
+		return true
+	})
+	return rep
+}
+
+// ConvStats reports the bookkeeping cost of one convergence analysis.
+type ConvStats struct {
+	// Edges is the number of illegitimate→illegitimate transition-graph
+	// edges materialized in the reverse-adjacency CSR.
+	Edges uint64
+	// Layers is the number of synchronized Kahn frontiers processed.
+	Layers int
+	// BookkeepingBytes is the peak size of the engine's dense arrays
+	// (out-degrees, CSR offsets+edges, distance/best arrays, bitmaps).
+	BookkeepingBytes uint64
+}
+
+// CheckConvergence verifies convergence under the unfair distributed
+// daemon — the transition relation restricted to Γ∖lam must be acyclic —
+// and computes the exact worst-case stabilization time, exactly like the
+// legacy Checker.CheckConvergence but as a two-phase parallel analysis:
+//
+//  1. Two parallel sweeps over the ID space build, per illegitimate
+//     configuration, its out-degree into Γ∖Λ and the reverse adjacency
+//     (predecessor lists) in CSR form.
+//  2. A layered Kahn pass peels nodes whose successors are all finalized,
+//     propagating longest distances to predecessors with atomic max/
+//     decrement counters. Unprocessed residue ⇔ a cycle.
+func (e *Engine[S]) CheckConvergence(lam *IDSet) (ConvergenceReport[S], ConvStats) {
+	rep, _, stats := e.convergence(lam, e.allRules)
+	return rep, stats
+}
+
+// Distances is CheckConvergence plus the exact worst-case steps-to-Λ of
+// every configuration, keyed by ID (only nonzero distances are present),
+// with the same semantics as Checker.Distances.
+func (e *Engine[S]) Distances(lam *IDSet) (map[uint64]int, ConvergenceReport[S]) {
+	rep, dist, _ := e.convergence(lam, e.allRules)
+	out := make(map[uint64]int)
+	for id, d := range dist {
+		if d != 0 {
+			out[uint64(id)] = int(d)
+		}
+	}
+	return out, rep
+}
+
+// LongestRestricted computes the longest execution using only the given
+// rule set, from any start (Lemma 5); ok is false if such executions can
+// be infinite. Identical semantics to Checker.LongestRestricted.
+func (e *Engine[S]) LongestRestricted(rules map[int]bool) (steps int, start statemodel.Config[S], ok bool) {
+	var mask uint32
+	for r, on := range rules {
+		if on && r >= 1 && r <= 30 {
+			mask |= 1 << uint(r)
+		}
+	}
+	rep, _, _ := e.convergence(newIDSet(e.total), mask)
+	if !rep.Converges {
+		return 0, rep.Cycle, false
+	}
+	return rep.WorstSteps, rep.WorstStart, true
+}
+
+func atomicMaxInt32(p *int32, v int32) {
+	for {
+		old := atomic.LoadInt32(p)
+		if v <= old || atomic.CompareAndSwapInt32(p, old, v) {
+			return
+		}
+	}
+}
+
+func (e *Engine[S]) convergence(lam *IDSet, ruleMask uint32) (ConvergenceReport[S], []int32, ConvStats) {
+	var rep ConvergenceReport[S]
+	rep.Converges = true
+	total := e.total
+	ch := e.chunks()
+
+	// Phase 1a: out-degrees into Γ∖Λ and predecessor counts. hasSucc
+	// records whether a node has any successor at all (legitimate ones
+	// included): a node without one is terminal with distance 0, matching
+	// the legacy rule-restriction semantics.
+	outdeg := make([]int32, total)
+	predCnt := make([]uint32, total)
+	hasSucc := newIDSet(total)
+	type sweepTotals struct{ illegit, edges uint64 }
+	totals := parsweep.Map(len(ch), e.workers, func(ci int) sweepTotals {
+		var t sweepTotals
+		movers := make([]mover, 0, e.n)
+		succs := make([]uint64, 0, 64)
+		sums := make([]int64, 1<<uint(e.n))
+		e.scanRange(ch[ci].lo, ch[ci].hi, func(id uint64, digits []int) {
+			if lam.Contains(id) {
+				return
+			}
+			t.illegit++
+			movers = e.enabledMoves(digits, ruleMask, movers[:0])
+			succs, sums = distinctSuccessors(id, movers, succs[:0], sums)
+			if len(succs) > 0 {
+				hasSucc.set(id)
+			}
+			var od int32
+			for _, v := range succs {
+				if lam.Contains(v) {
+					continue
+				}
+				od++
+				atomic.AddUint32(&predCnt[v], 1)
+			}
+			outdeg[id] = od
+			t.edges += uint64(od)
+		})
+		return t
+	})
+	var illegit, edges uint64
+	for _, t := range totals {
+		illegit += t.illegit
+		edges += t.edges
+	}
+	rep.Illegitimate = illegit
+
+	// Phase 1b: CSR reverse adjacency. offsets is the usual prefix sum;
+	// cur is the per-node fill cursor, advanced atomically in the second
+	// parallel sweep.
+	offsets := make([]uint64, total+1)
+	for id := uint64(0); id < total; id++ {
+		offsets[id+1] = offsets[id] + uint64(predCnt[id])
+	}
+	preds := make([]uint32, edges)
+	cur := make([]uint64, total)
+	copy(cur, offsets[:total])
+	predCnt = nil
+	parsweep.Map(len(ch), e.workers, func(ci int) struct{} {
+		movers := make([]mover, 0, e.n)
+		succs := make([]uint64, 0, 64)
+		sums := make([]int64, 1<<uint(e.n))
+		e.scanRange(ch[ci].lo, ch[ci].hi, func(id uint64, digits []int) {
+			if lam.Contains(id) {
+				return
+			}
+			movers = e.enabledMoves(digits, ruleMask, movers[:0])
+			succs, sums = distinctSuccessors(id, movers, succs[:0], sums)
+			for _, v := range succs {
+				if lam.Contains(v) {
+					continue
+				}
+				slot := atomic.AddUint64(&cur[v], 1) - 1
+				preds[slot] = uint32(id)
+			}
+		})
+		return struct{}{}
+	})
+	cur = nil
+
+	stats := ConvStats{
+		Edges: edges,
+		BookkeepingBytes: 4*total + 4*total + 8*(total+1) + 8*total +
+			4*edges + 4*total + 4*total + 3*(total+7)/8,
+	}
+
+	// Phase 2: layered Kahn over the reverse graph. best[u] accumulates
+	// the max distance over u's finalized illegitimate successors
+	// (legitimate successors contribute 0); when u's out-degree counter
+	// hits zero its distance is final: best+1, or 0 for terminals.
+	best := make([]int32, total)
+	dist := make([]int32, total)
+	finalized := newIDSet(total)
+	var frontier []uint32
+	fronts := parsweep.Map(len(ch), e.workers, func(ci int) []uint32 {
+		var out []uint32
+		for id := ch[ci].lo; id < ch[ci].hi; id++ {
+			if lam.Contains(id) || outdeg[id] != 0 {
+				continue
+			}
+			if hasSucc.Contains(id) {
+				dist[id] = 1
+			}
+			finalized.set(id)
+			out = append(out, uint32(id))
+		}
+		return out
+	})
+	var finalCnt uint64
+	for _, f := range fronts {
+		finalCnt += uint64(len(f))
+		frontier = append(frontier, f...)
+	}
+
+	for len(frontier) > 0 {
+		stats.Layers++
+		parts := splitFrontier(frontier, e.workers*4)
+		results := parsweep.Map(len(parts), e.workers, func(pi int) []uint32 {
+			var next []uint32
+			for _, v32 := range parts[pi] {
+				v := uint64(v32)
+				dv := dist[v]
+				for _, u32 := range preds[offsets[v]:offsets[v+1]] {
+					u := uint64(u32)
+					atomicMaxInt32(&best[u], dv)
+					if atomic.AddInt32(&outdeg[u], -1) == 0 {
+						// Last successor finalized; every competing max
+						// happened before its decrement, so best[u] is
+						// complete.
+						dist[u] = atomic.LoadInt32(&best[u]) + 1
+						finalized.setAtomic(u)
+						next = append(next, u32)
+					}
+				}
+			}
+			return next
+		})
+		frontier = frontier[:0]
+		for _, r := range results {
+			finalCnt += uint64(len(r))
+			frontier = append(frontier, r...)
+		}
+	}
+
+	if finalCnt < illegit {
+		// Residue ⇔ a cycle through every unprocessed node.
+		rep.Converges = false
+		for id := uint64(0); id < total; id++ {
+			if !lam.Contains(id) && !finalized.Contains(id) {
+				rep.Cycle = e.c.Decode(id)
+				break
+			}
+		}
+		return rep, dist, stats
+	}
+
+	// Max distance with smallest-ID tie-break, reduced per chunk.
+	type worst struct {
+		d  int32
+		id uint64
+	}
+	ws := parsweep.Map(len(ch), e.workers, func(ci int) worst {
+		w := worst{0, ^uint64(0)}
+		for id := ch[ci].lo; id < ch[ci].hi; id++ {
+			if d := dist[id]; d > w.d {
+				w = worst{d, id}
+			}
+		}
+		return w
+	})
+	w := worst{0, ^uint64(0)}
+	for _, c := range ws {
+		if c.d > w.d || (c.d == w.d && c.id < w.id) {
+			w = c
+		}
+	}
+	rep.WorstSteps = int(w.d)
+	if w.d > 0 {
+		rep.WorstStart = e.c.Decode(w.id)
+	}
+	return rep, dist, stats
+}
+
+// splitFrontier partitions f into at most parts contiguous slices.
+func splitFrontier(f []uint32, parts int) [][]uint32 {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(f) {
+		parts = len(f)
+	}
+	out := make([][]uint32, 0, parts)
+	step := (len(f) + parts - 1) / parts
+	for lo := 0; lo < len(f); lo += step {
+		hi := lo + step
+		if hi > len(f) {
+			hi = len(f)
+		}
+		out = append(out, f[lo:hi])
+	}
+	return out
+}

@@ -119,6 +119,12 @@ func New(n, k int) *Algorithm {
 // Name implements statemodel.Algorithm.
 func (a *Algorithm) Name() string { return fmt.Sprintf("ssrmin(n=%d,K=%d)", a.n, a.k) }
 
+// UniformViews implements statemodel.PositionUniform: every guard and
+// command of Algorithm 3 reads the position only through Bottom() (via the
+// embedded Dijkstra guard), so the model checker may compile SSRmin into
+// per-class transition tables.
+func (a *Algorithm) UniformViews() {}
+
 // N implements statemodel.Algorithm.
 func (a *Algorithm) N() int { return a.n }
 

@@ -56,6 +56,10 @@ func New(n, k int) *Algorithm {
 // Name implements statemodel.Algorithm.
 func (a *Algorithm) Name() string { return fmt.Sprintf("sstoken(n=%d,K=%d)", a.n, a.k) }
 
+// UniformViews implements statemodel.PositionUniform: the bottom runs D1,
+// everyone else D2, and neither reads I or N beyond Bottom().
+func (a *Algorithm) UniformViews() {}
+
 // N implements statemodel.Algorithm.
 func (a *Algorithm) N() int { return a.n }
 
@@ -199,6 +203,10 @@ func NewPair(n, k int) *Pair {
 
 // Name implements statemodel.Algorithm.
 func (p *Pair) Name() string { return fmt.Sprintf("sstoken-pair(n=%d,K=%d)", p.n, p.k) }
+
+// UniformViews implements statemodel.PositionUniform: both component
+// instances read the position only through Bottom().
+func (p *Pair) UniformViews() {}
 
 // N implements statemodel.Algorithm.
 func (p *Pair) N() int { return p.n }

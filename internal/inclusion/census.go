@@ -1,0 +1,74 @@
+// Compiled token census: the mutual inclusion predicates (who holds the
+// primary/secondary token) depend only on a process's (pred, self, succ)
+// view and on whether it is the bottom process, so — like the model
+// checker's transition tables — they compile into two dense per-class
+// tables over encoded state triples. The exhaustive Theorem 1 scan then
+// counts privileged processes by pure table probes on configuration IDs,
+// never materializing a View.
+package inclusion
+
+import (
+	"ssrmin/internal/statemodel"
+)
+
+// CensusTable holds, per position class (0 = bottom, 1 = other) and per
+// statemodel.TripleIndex-encoded (pred, self, succ) triple, the token
+// predicates' values: bit 0 = primary holder, bit 1 = secondary holder.
+type CensusTable struct {
+	q    int
+	bits [statemodel.ViewClasses][]uint8
+}
+
+// CompileCensus evaluates the primary- and secondary-token predicates on
+// every (class, pred, self, succ) combination over the given state
+// enumeration of a ring of size n. The predicates must read the view's
+// position only through Bottom() — the same statemodel.PositionUniform
+// contract the model checker's tables rely on.
+func CompileCensus[S comparable](states []S, n int, primary, secondary func(statemodel.View[S]) bool) *CensusTable {
+	q := len(states)
+	t := &CensusTable{q: q}
+	for class := 0; class < statemodel.ViewClasses; class++ {
+		tab := make([]uint8, q*q*q)
+		for p := 0; p < q; p++ {
+			for s := 0; s < q; s++ {
+				for u := 0; u < q; u++ {
+					v := statemodel.ClassView(class, n, states[p], states[s], states[u])
+					var b uint8
+					if primary(v) {
+						b |= 1
+					}
+					if secondary(v) {
+						b |= 2
+					}
+					tab[statemodel.TripleIndex(q, p, s, u)] = b
+				}
+			}
+		}
+		t.bits[class] = tab
+	}
+	return t
+}
+
+// Counts tallies the token census of one configuration given its encoded
+// per-position triples (triples[i] is position i's TripleIndex; position 0
+// is the bottom class). privileged counts processes holding either token —
+// the mutual inclusion measure of Theorem 1.
+func (t *CensusTable) Counts(triples []uint32) (primary, secondary, privileged int) {
+	for i, tr := range triples {
+		class := 0
+		if i != 0 {
+			class = 1
+		}
+		b := t.bits[class][tr]
+		if b&1 != 0 {
+			primary++
+		}
+		if b&2 != 0 {
+			secondary++
+		}
+		if b != 0 {
+			privileged++
+		}
+	}
+	return primary, secondary, privileged
+}

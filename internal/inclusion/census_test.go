@@ -1,0 +1,66 @@
+package inclusion
+
+import (
+	"testing"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/statemodel"
+)
+
+// TestCensusTableMatchesDirect exhaustively compares the compiled census
+// against the direct SSRmin token predicates on every (class, pred, self,
+// succ) combination of the n=4, K=5 instance.
+func TestCensusTableMatchesDirect(t *testing.T) {
+	a := core.New(4, 5)
+	states := a.AllStates()
+	ct := CompileCensus(states, a.N(), core.HasPrimary, core.HasSecondary)
+	idx := func(s core.State) int {
+		for i, x := range states {
+			if x == s {
+				return i
+			}
+		}
+		t.Fatalf("state %v not enumerated", s)
+		return -1
+	}
+	for class := 0; class < statemodel.ViewClasses; class++ {
+		for _, p := range states {
+			for _, s := range states {
+				for _, u := range states {
+					v := statemodel.ClassView(class, a.N(), p, s, u)
+					tr := statemodel.TripleIndex(len(states), idx(p), idx(s), idx(u))
+					b := ct.bits[class][tr]
+					if wantP := core.HasPrimary(v); b&1 != 0 != wantP {
+						t.Fatalf("primary mismatch at class %d view %v", class, v)
+					}
+					if wantS := core.HasSecondary(v); b&2 != 0 != wantS {
+						t.Fatalf("secondary mismatch at class %d view %v", class, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCensusCountsTheorem1 spot-checks the Theorem 1 invariant on the
+// canonical legitimate configuration: one primary, one secondary,
+// privileged within [1, 2].
+func TestCensusCountsTheorem1(t *testing.T) {
+	a := core.New(5, 6)
+	states := a.AllStates()
+	idx := map[core.State]int{}
+	for i, s := range states {
+		idx[s] = i
+	}
+	ct := CompileCensus(states, a.N(), core.HasPrimary, core.HasSecondary)
+	cfg := a.InitialLegitimate()
+	triples := make([]uint32, a.N())
+	for i := range triples {
+		v := cfg.View(i)
+		triples[i] = uint32(statemodel.TripleIndex(len(states), idx[v.Pred], idx[v.Self], idx[v.Succ]))
+	}
+	prim, sec, priv := ct.Counts(triples)
+	if prim != 1 || sec != 1 || priv < 1 || priv > 2 {
+		t.Fatalf("census of γ0 = (%d, %d, %d), want (1, 1, 1..2)", prim, sec, priv)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Map runs f(i) for i in [0, n) on up to workers goroutines and returns
@@ -37,28 +38,17 @@ func Map[R any](n, workers int, f func(i int) R) []R {
 
 	var (
 		wg       sync.WaitGroup
-		next     int
-		nextMu   sync.Mutex
+		next     atomic.Int64 // lock-free work-index grab: one Add per item
 		panicVal any
 		panicMu  sync.Mutex
 	)
-	grab := func() (int, bool) {
-		nextMu.Lock()
-		defer nextMu.Unlock()
-		if next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i, ok := grab()
-				if !ok {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
 				func() {

@@ -59,6 +59,51 @@ type Algorithm[S comparable] interface {
 	Apply(v View[S], rule int) S
 }
 
+// PositionUniform is the opt-in contract for transition-table compilation.
+// An algorithm whose EnabledRule and Apply depend on View.I and View.N only
+// through View.Bottom() — i.e. every non-bottom process runs the same code
+// over its (pred, self, succ) view — may declare it by implementing the
+// marker method. Exhaustive checkers then compile the guards and commands
+// into two dense tables (one per position class, bottom and other) indexed
+// by TripleIndex, and expand successors by pure integer arithmetic on
+// encoded configuration IDs, with no View construction on the hot path.
+//
+// Declaring PositionUniform for an algorithm that inspects I or N beyond
+// Bottom() yields a miscompiled table; internal/check's differential tests
+// guard the algorithms of this repository.
+type PositionUniform interface {
+	// UniformViews is a marker; it must be a no-op.
+	UniformViews()
+}
+
+// ViewClasses is the number of position classes a PositionUniform
+// algorithm distinguishes: the bottom process (class 0) and everyone else
+// (class 1).
+const ViewClasses = 2
+
+// ClassOf returns the position class of process i: 0 for the bottom
+// process, 1 otherwise.
+func ClassOf(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return 1
+}
+
+// ClassView builds a representative View of the given position class over
+// explicit neighbor states — the enumeration hook used to compile
+// per-class transition tables from a PositionUniform algorithm.
+func ClassView[S comparable](class, n int, pred, self, succ S) View[S] {
+	return View[S]{I: class, N: n, Self: self, Pred: pred, Succ: succ}
+}
+
+// TripleIndex encodes a (pred, self, succ) triple of state indices over a
+// q-element state set into a dense index in [0, q³). All compiled
+// per-class tables in this repository share this layout.
+func TripleIndex(q, pred, self, succ int) int {
+	return (pred*q+self)*q + succ
+}
+
 // Config is a configuration: the n-tuple of local states (q_0, …, q_{n-1}).
 type Config[S comparable] []S
 
