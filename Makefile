@@ -3,8 +3,8 @@
 GO ?= go
 
 .PHONY: all build test test-race test-race-core test-short cover bench \
-        bench-check experiments experiments-quick modelcheck modelcheck-n5 \
-        examples fmt vet clean
+        bench-check bench-obs experiments experiments-quick modelcheck \
+        modelcheck-n5 examples fmt vet clean
 
 all: build vet test test-race-core
 
@@ -17,10 +17,11 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Race-check the concurrency-heavy packages (the parallel ID-space engine
-# and the sweep driver) without paying for the whole suite under -race.
+# Race-check the concurrency-heavy packages (the parallel ID-space engine,
+# the sweep driver, and the observer fed by live ring goroutines) without
+# paying for the whole suite under -race.
 test-race-core:
-	$(GO) test -race ./internal/check ./internal/parsweep
+	$(GO) test -race ./internal/check ./internal/parsweep ./internal/obs
 
 test-short:
 	$(GO) test -short ./...
@@ -36,6 +37,13 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench 'ModelCheck|ParallelSweep' -benchmem . \
 	  | $(GO) run ./cmd/benchjson -o BENCH_check.json
+
+# Record the instrumentation layer's no-op-sink overhead on the hot paths
+# (state-reading steps, discrete events) in BENCH_obs.json; the "nop"
+# variants must stay within 5% of their "bare" twins.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_obs.json
 
 # Regenerate every paper artifact + extension ablations (see EXPERIMENTS.md).
 experiments:

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ssrmin/internal/check"
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/core"
 	"ssrmin/internal/daemon"
 	"ssrmin/internal/dijkstra"
@@ -44,18 +45,17 @@ func runConvergence(cfg runConfig) {
 		trials = 60
 	}
 
+	// The sweep covers every scheduler in the shared registry (the same
+	// list the -daemon CLI flags accept), at inclusion probability 0.5.
 	type daemonMaker struct {
 		name string
 		make func(seed int64) statemodel.Daemon
 	}
-	daemons := []daemonMaker{
-		{"central-random", func(s int64) statemodel.Daemon { return daemon.NewCentralRandom(newRand(s)) }},
-		{"synchronous", func(s int64) statemodel.Daemon { return daemon.Synchronous{} }},
-		{"distributed(p=0.5)", func(s int64) statemodel.Daemon { return daemon.NewRandomSubset(newRand(s), 0.5) }},
-		{"quiet-adversary", func(s int64) statemodel.Daemon {
-			return daemon.NewRuleBiased(newRand(s), core.RuleReadySecondary, core.RuleRecvSecondary, core.RuleFixNoG)
-		}},
-		{"starver(P0)", func(s int64) statemodel.Daemon { return daemon.NewStarver(newRand(s), 0) }},
+	var daemons []daemonMaker
+	for _, spec := range cliconf.Daemons() {
+		spec := spec
+		daemons = append(daemons, daemonMaker{spec.Label,
+			func(s int64) statemodel.Daemon { return spec.New(s, 0.5) }})
 	}
 
 	for _, dm := range daemons {

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/report"
 )
 
@@ -88,11 +89,12 @@ func register(order int, id, what string, run func(runConfig)) {
 }
 
 func main() {
+	var cc cliconf.Config
+	cc.BindSeed(flag.CommandLine, 1)
 	var (
 		runF    = flag.String("run", "all", "comma-separated experiment ids (see -list)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quick   = flag.Bool("quick", false, "smaller sweeps")
-		seed    = flag.Int64("seed", 1, "base random seed")
 		formatF = flag.String("format", "text", "table output format: text | md | csv")
 		outDir  = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	)
@@ -126,7 +128,7 @@ func main() {
 		}
 	}
 
-	cfg := runConfig{quick: *quick, seed: *seed}
+	cfg := runConfig{quick: *quick, seed: cc.Seed}
 	ran := 0
 	for _, e := range registry {
 		if !all && !want[e.id] {

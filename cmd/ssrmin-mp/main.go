@@ -8,6 +8,7 @@
 //	ssrmin-mp -n 5 -horizon 10                     # SSRmin, legit start
 //	ssrmin-mp -n 5 -alg sstoken -horizon 10        # Figure 11 baseline
 //	ssrmin-mp -n 5 -random -loss 0.1 -horizon 60   # Theorem 4 setting
+//	ssrmin-mp -n 5 -events handover.jsonl          # JSONL event log
 package main
 
 import (
@@ -15,8 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"ssrmin"
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/cst"
 	"ssrmin/internal/dijkstra"
 	"ssrmin/internal/msgnet"
@@ -26,11 +29,12 @@ import (
 )
 
 func main() {
+	var cc cliconf.Config
+	cc.BindRing(flag.CommandLine, 5)
+	cc.BindRandom(flag.CommandLine, 1)
 	var (
 		scenarioF = flag.String("scenario", "", "run a JSON scenario file instead of flags (see scenarios/)")
 
-		n       = flag.Int("n", 5, "ring size")
-		k       = flag.Int("k", 0, "counter space K (default n+1)")
 		algF    = flag.String("alg", "ssrmin", "algorithm: ssrmin | sstoken")
 		horizon = flag.Float64("horizon", 10, "simulated seconds to run")
 		delay   = flag.Float64("delay", 0.01, "link delay (s)")
@@ -38,46 +42,67 @@ func main() {
 		loss    = flag.Float64("loss", 0, "per-message loss probability")
 		refresh = flag.Float64("refresh", 0.05, "cache refresh period (s)")
 		hold    = flag.Float64("hold", 0, "critical-section dwell (s)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		random  = flag.Bool("random", false, "arbitrary initial states and incoherent caches")
+		events  = flag.String("events", "", "write a JSONL observability event log to this file")
 	)
 	flag.Parse()
 	if *scenarioF != "" {
 		runScenarioFile(*scenarioF)
 		return
 	}
-	if *k == 0 {
-		*k = *n + 1
-	}
+	cc.ResolveK()
 
 	switch *algF {
 	case "ssrmin":
-		runSSRmin(*n, *k, *horizon, *delay, *jitter, *loss, *refresh, *hold, *seed, *random)
+		runSSRmin(cc, *horizon, *delay, *jitter, *loss, *refresh, *hold, *events)
 	case "sstoken":
-		runSSToken(*n, *k, *horizon, *delay, *jitter, *loss, *refresh, *hold, *seed)
+		runSSToken(cc.N, cc.K, *horizon, *delay, *jitter, *loss, *refresh, *hold, cc.Seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algF)
 		os.Exit(2)
 	}
 }
 
-func runSSRmin(n, k int, horizon, delay, jitter, loss, refresh, hold float64, seed int64, random bool) {
-	opts := ssrmin.MPOptions{
-		K: k, Delay: delay, Jitter: jitter, LossProb: loss,
-		Refresh: refresh, Hold: hold, Seed: seed,
+// secs converts a float flag in seconds to the option unit.
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func runSSRmin(cc cliconf.Config, horizon, delay, jitter, loss, refresh, hold float64, events string) {
+	opts := []ssrmin.Option{
+		ssrmin.WithK(cc.K), ssrmin.WithSeed(cc.Seed),
+		ssrmin.WithDelay(secs(delay)), ssrmin.WithJitter(secs(jitter)),
+		ssrmin.WithLoss(loss), ssrmin.WithRefresh(secs(refresh)),
+		ssrmin.WithHold(secs(hold)),
 	}
-	if random {
-		alg := ssrmin.New(n, k)
-		opts.Initial = ssrmin.RandomConfig(alg, rand.New(rand.NewSource(seed)))
-		opts.IncoherentCaches = true
+	if cc.Random {
+		alg := ssrmin.New(cc.N, cc.K)
+		opts = append(opts,
+			ssrmin.WithInitial(ssrmin.RandomConfig(alg, rand.New(rand.NewSource(cc.Seed)))),
+			ssrmin.WithIncoherentCaches())
 	}
-	m := ssrmin.NewMPSimulation(n, opts)
+	var jsonl *ssrmin.JSONLSink
+	if events != "" {
+		f, err := os.Create(events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonl = ssrmin.NewJSONLSink(f)
+		opts = append(opts, ssrmin.WithSink(jsonl))
+	}
+	m := ssrmin.NewMPSimulation(cc.N, opts...)
 	m.Run(horizon)
 	stats := m.Ring().Net.Stats()
 	tl := m.Timeline()
-	fmt.Printf("algorithm:     ssrmin(n=%d,K=%d)\n", n, k)
+	fmt.Printf("algorithm:     ssrmin(n=%d,K=%d)\n", cc.N, cc.K)
 	printTimeline(tl, stats, m.RuleExecutions())
 	fmt.Printf("final census:  %d privileged %v\n", m.Census(), m.Holders())
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "event log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", jsonl.Events(), events)
+	}
 }
 
 func runSSToken(n, k int, horizon, delay, jitter, loss, refresh, hold float64, seed int64) {

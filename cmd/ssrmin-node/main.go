@@ -12,7 +12,8 @@
 //	ssrmin-node -id 2 -n 3 -listen 127.0.0.1:9002 -pred 127.0.0.1:9001 -succ 127.0.0.1:9000 &
 //
 // Each node logs its privilege transitions; kill and restart any node and
-// watch the ring heal.
+// watch the ring heal. With -metrics each node additionally serves its
+// counters on /metrics and /debug/vars.
 package main
 
 import (
@@ -25,30 +26,31 @@ import (
 	"syscall"
 	"time"
 
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/core"
 	"ssrmin/internal/netring"
+	"ssrmin/internal/obs"
 )
 
 func main() {
+	var cc cliconf.Config
+	cc.BindRing(flag.CommandLine, 0)
 	var (
 		id      = flag.Int("id", -1, "this node's ring index (0..n-1)")
-		n       = flag.Int("n", 0, "ring size (≥ 3)")
-		k       = flag.Int("k", 0, "counter space K (default n+1)")
 		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000")
 		pred    = flag.String("pred", "", "predecessor's listen address")
 		succ    = flag.String("succ", "", "successor's listen address")
 		refresh = flag.Duration("refresh", 50*time.Millisecond, "announcement refresh interval")
 		seconds = flag.Float64("seconds", 0, "exit after this many seconds (0 = run until signal)")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/vars on this address")
 	)
 	flag.Parse()
 
-	if *id < 0 || *n < 3 || *listen == "" || *pred == "" || *succ == "" {
+	if *id < 0 || cc.N < 3 || *listen == "" || *pred == "" || *succ == "" {
 		fmt.Fprintln(os.Stderr, "required: -id -n -listen -pred -succ (see -h)")
 		os.Exit(2)
 	}
-	if *k == 0 {
-		*k = *n + 1
-	}
+	cc.ResolveK()
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -58,10 +60,10 @@ func main() {
 	// Arbitrary initial state: self-stabilization means we need no
 	// coordination about starting values.
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	init := core.State{X: rng.Intn(*k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+	init := core.State{X: rng.Intn(cc.K), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
 
 	node, err := netring.NewNode(netring.Config{
-		ID: *id, N: *n, K: *k,
+		ID: *id, N: cc.N, K: cc.K,
 		Listener: l,
 		PredAddr: *pred,
 		SuccAddr: *succ,
@@ -71,9 +73,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	var observer *obs.Observer
+	start := time.Now()
+	if *metrics != "" {
+		observer = obs.New(nil)
+		bound, shutdown, err := obs.Serve(*metrics, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("node %d: metrics on http://%s/metrics\n", *id, bound)
+	}
+
 	node.Start()
 	defer node.Stop()
-	fmt.Printf("node %d/%d listening on %s (initial state %v)\n", *id, *n, node.Addr(), init)
+	fmt.Printf("node %d/%d listening on %s (initial state %v)\n", *id, cc.N, node.Addr(), init)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -83,10 +99,12 @@ func main() {
 		deadline = time.After(time.Duration(*seconds * float64(time.Second)))
 	}
 
-	// Log privilege transitions.
+	// Log privilege transitions (and, with -metrics, feed the observer:
+	// handover events from privilege edges, rule counters by delta).
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	wasPrivileged := false
+	lastExecs := 0
 	for {
 		select {
 		case <-stop:
@@ -96,9 +114,19 @@ func main() {
 			fmt.Printf("node %d: done (%d rule executions)\n", *id, node.RuleExecutions())
 			return
 		case <-tick.C:
+			if observer != nil {
+				execs := node.RuleExecutions()
+				if d := execs - lastExecs; d > 0 {
+					observer.C.RuleFired.Add(int64(d))
+					lastExecs = execs
+				}
+			}
 			p := node.Privileged()
 			if p != wasPrivileged {
 				wasPrivileged = p
+				if observer != nil {
+					observer.Handover(time.Since(start).Seconds(), *id, p)
+				}
 				state, _, _ := node.Snapshot()
 				if p {
 					fmt.Printf("node %d: PRIVILEGED  (state %v)\n", *id, state)

@@ -6,6 +6,7 @@
 //	ssrmin-sim -n 5 -steps 15                 # the execution of Figure 4
 //	ssrmin-sim -n 7 -k 9 -daemon sync -random -seed 3 -summary
 //	ssrmin-sim -n 5 -daemon distributed -p 0.5 -tokens
+//	ssrmin-sim -n 5 -events /dev/stderr       # JSONL event log alongside
 package main
 
 import (
@@ -15,55 +16,53 @@ import (
 	"os"
 
 	"ssrmin"
+	"ssrmin/internal/cliconf"
 )
 
 func main() {
+	var cc cliconf.Config
+	cc.BindRing(flag.CommandLine, 5)
+	cc.BindSteps(flag.CommandLine, 15)
+	cc.BindSchedule(flag.CommandLine)
+	cc.BindRandom(flag.CommandLine, 1)
 	var (
-		n       = flag.Int("n", 5, "ring size (≥ 3)")
-		k       = flag.Int("k", 0, "counter space K (> n; default n+1)")
-		steps   = flag.Int("steps", 15, "number of transitions to run")
-		daemonF = flag.String("daemon", "central", "scheduler: central | sync | distributed | quiet | starve")
-		p       = flag.Float64("p", 0.5, "inclusion probability for -daemon distributed")
-		seed    = flag.Int64("seed", 1, "random seed")
-		random  = flag.Bool("random", false, "start from a random configuration instead of the legitimate one")
 		tokens  = flag.Bool("tokens", false, "print only token positions (Figure 1 style)")
 		summary = flag.Bool("summary", false, "print a summary instead of the trace")
 		csv     = flag.Bool("csv", false, "emit the execution as CSV")
+		events  = flag.String("events", "", "write a JSONL observability event log to this file")
 	)
 	flag.Parse()
 
-	if *k == 0 {
-		*k = *n + 1
-	}
-	var d ssrmin.Daemon
-	switch *daemonF {
-	case "central":
-		d = ssrmin.CentralDaemon(*seed)
-	case "sync":
-		d = ssrmin.SynchronousDaemon()
-	case "distributed":
-		d = ssrmin.DistributedDaemon(*seed, *p)
-	case "quiet":
-		d = ssrmin.AdversarialQuietDaemon(*seed)
-	case "starve":
-		d = ssrmin.StarvingDaemon(*seed, 0)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown daemon %q\n", *daemonF)
+	cc.ResolveK()
+	d, err := cc.NewDaemon()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	opts := []ssrmin.SimOption{ssrmin.WithK(*k), ssrmin.WithDaemon(d), ssrmin.WithRecording()}
-	if *random {
-		alg := ssrmin.New(*n, *k)
-		opts = append(opts, ssrmin.WithInitial(ssrmin.RandomConfig(alg, rand.New(rand.NewSource(*seed)))))
+	opts := []ssrmin.Option{ssrmin.WithK(cc.K), ssrmin.WithDaemon(d), ssrmin.WithRecording()}
+	if cc.Random {
+		alg := ssrmin.New(cc.N, cc.K)
+		opts = append(opts, ssrmin.WithInitial(ssrmin.RandomConfig(alg, rand.New(rand.NewSource(cc.Seed)))))
 	}
-	sim := ssrmin.NewSimulation(*n, opts...)
+	var jsonl *ssrmin.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonl = ssrmin.NewJSONLSink(f)
+		opts = append(opts, ssrmin.WithSink(jsonl))
+	}
+	sim := ssrmin.NewSimulation(cc.N, opts...)
 
 	legitAt := -1
 	if sim.Legitimate() {
 		legitAt = 0
 	}
-	for i := 0; i < *steps; i++ {
+	for i := 0; i < cc.Steps; i++ {
 		if _, ok := sim.Step(); !ok {
 			fmt.Fprintln(os.Stderr, "deadlock (should be impossible for SSRmin)")
 			break
@@ -97,5 +96,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "event log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", jsonl.Events(), *events)
 	}
 }

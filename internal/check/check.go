@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ssrmin/internal/obs"
 	"ssrmin/internal/statemodel"
 )
 
@@ -45,6 +46,11 @@ type Checker[S comparable] struct {
 	states []S
 	index  map[S]int
 	n      int
+
+	// Obs, when non-nil, receives a convergence-detected event (with the
+	// exact worst-case step count) from every convergence check, on both
+	// the legacy walker and the compiled engine. Set it before checking.
+	Obs *obs.Observer
 }
 
 // New builds a checker. It panics if the configuration space exceeds
@@ -249,6 +255,9 @@ type ConvergenceReport[S comparable] struct {
 // first). It also computes the exact worst-case stabilization time.
 func (c *Checker[S]) CheckConvergence(legit func(statemodel.Config[S]) bool) ConvergenceReport[S] {
 	rep, _ := c.checkConvergenceRestricted(legit, nil)
+	if rep.Converges {
+		c.Obs.ConvergedAt(0, rep.WorstSteps)
+	}
 	return rep
 }
 

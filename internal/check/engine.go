@@ -183,6 +183,9 @@ type ConvStats struct {
 //     decrement counters. Unprocessed residue ⇔ a cycle.
 func (e *Engine[S]) CheckConvergence(lam *IDSet) (ConvergenceReport[S], ConvStats) {
 	rep, _, stats := e.convergence(lam, e.allRules)
+	if rep.Converges {
+		e.c.Obs.ConvergedAt(0, rep.WorstSteps)
+	}
 	return rep, stats
 }
 

@@ -1,0 +1,67 @@
+package cliconf
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func TestParseDaemonKnownNames(t *testing.T) {
+	for _, name := range DaemonNames() {
+		d, err := ParseDaemon(name, 1, 0.5)
+		if err != nil {
+			t.Fatalf("ParseDaemon(%q): %v", name, err)
+		}
+		if d == nil {
+			t.Fatalf("ParseDaemon(%q) returned nil daemon", name)
+		}
+		if d.Name() == "" {
+			t.Errorf("daemon %q has empty Name()", name)
+		}
+	}
+}
+
+func TestParseDaemonUnknown(t *testing.T) {
+	if _, err := ParseDaemon("nope", 1, 0.5); err == nil {
+		t.Fatal("want error for unknown daemon name")
+	}
+}
+
+func TestDaemonNames(t *testing.T) {
+	want := []string{"central", "sync", "distributed", "quiet", "starve"}
+	if got := DaemonNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("DaemonNames() = %v, want %v", got, want)
+	}
+}
+
+func TestBindAndResolve(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.BindRing(fs, 5)
+	c.BindSteps(fs, 15)
+	c.BindSchedule(fs)
+	c.BindRandom(fs, 1)
+	if err := fs.Parse([]string{"-n", "7", "-daemon", "distributed", "-p", "0.25", "-seed", "9", "-random"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 7 || c.Steps != 15 || c.Daemon != "distributed" || c.P != 0.25 || c.Seed != 9 || !c.Random {
+		t.Errorf("parsed config = %+v", c)
+	}
+	if k := c.ResolveK(); k != 8 {
+		t.Errorf("ResolveK() = %d, want n+1 = 8", k)
+	}
+	d, err := c.NewDaemon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("NewDaemon returned nil")
+	}
+}
+
+func TestResolveKExplicit(t *testing.T) {
+	c := Config{N: 5, K: 9}
+	if k := c.ResolveK(); k != 9 {
+		t.Errorf("ResolveK() = %d, want explicit 9", k)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"ssrmin/internal/obs"
 )
 
 // Time is simulated time in seconds.
@@ -229,6 +231,11 @@ type Network struct {
 	// dropped instead — a checksum would have rejected them anyway.
 	Corrupt func(rng *rand.Rand, payload any) any
 
+	// Obs, when non-nil, receives message send/recv/drop counters and
+	// events; times are simulated seconds. Suppressed, lost and
+	// checksum-discarded messages all count as drops.
+	Obs *obs.Observer
+
 	stats Stats
 }
 
@@ -305,11 +312,13 @@ func (n *Network) send(from, to int, payload any) bool {
 	if l.down {
 		n.stats.Lost++
 		n.tap(TapEvent{At: n.now, Kind: TapLost, Node: to, From: from})
+		n.Obs.MsgDropped(float64(n.now), to, from)
 		return false
 	}
 	if n.now < l.busyUntil {
 		n.stats.Suppressed++
 		n.tap(TapEvent{At: n.now, Kind: TapSuppressed, Node: to, From: from})
+		n.Obs.MsgDropped(float64(n.now), to, from)
 		return false
 	}
 	if n.LossEnabled && l.params.LossProb > 0 && n.rng.Float64() < l.params.LossProb {
@@ -318,6 +327,7 @@ func (n *Network) send(from, to int, payload any) bool {
 		// garbage).
 		n.stats.Lost++
 		n.tap(TapEvent{At: n.now, Kind: TapLost, Node: to, From: from})
+		n.Obs.MsgDropped(float64(n.now), to, from)
 		l.busyUntil = n.now + l.params.Delay + n.jitter(l)
 		return false
 	}
@@ -327,6 +337,7 @@ func (n *Network) send(from, to int, payload any) bool {
 		if n.Corrupt == nil {
 			// No corruption hook: model a checksum that discards the
 			// damaged frame (it still occupied the medium).
+			n.Obs.MsgDropped(float64(n.now), to, from)
 			l.busyUntil = n.now + l.params.Delay + n.jitter(l)
 			return false
 		}
@@ -337,6 +348,7 @@ func (n *Network) send(from, to int, payload any) bool {
 	n.push(&event{at: at, kind: evDeliver, node: to, from: from, load: payload})
 	n.stats.Sent++
 	n.tap(TapEvent{At: n.now, Kind: TapSend, Node: to, From: from})
+	n.Obs.MsgSent(float64(n.now), from, to)
 	if l.params.DupProb > 0 && n.rng.Float64() < l.params.DupProb {
 		n.push(&event{at: at + n.jitter(l), kind: evDeliver, node: to, from: from, load: payload})
 		n.stats.Duplicated++
@@ -381,6 +393,7 @@ func (n *Network) Step() bool {
 	case evDeliver:
 		n.stats.Delivered++
 		n.tap(TapEvent{At: n.now, Kind: TapDeliver, Node: e.node, From: e.from})
+		n.Obs.MsgRecv(float64(n.now), e.node, e.from)
 		n.handlers[e.node].Receive(ctx, e.from, e.load)
 	case evTimer:
 		n.stats.Timers++

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+)
+
+// WriteText writes the observer's counters and histograms as a plain-text
+// metrics exposition: one `name value` line per counter, with per-rule
+// and per-bucket breakdowns in `name{label=value}` form. The format is
+// stable and line-oriented so it can be scraped, diffed, or awk'd.
+func (o *Observer) WriteText(w io.Writer) {
+	if o == nil {
+		fmt.Fprintln(w, "# no observer installed")
+		return
+	}
+	fmt.Fprintf(w, "ssrmin_steps %d\n", o.C.Steps.Load())
+	fmt.Fprintf(w, "ssrmin_rule_fired %d\n", o.C.RuleFired.Load())
+	for r := 1; r < MaxRules; r++ {
+		if v := o.C.Rules[r].Load(); v != 0 {
+			fmt.Fprintf(w, "ssrmin_rule_fired{rule=%d} %d\n", r, v)
+		}
+	}
+	fmt.Fprintf(w, "ssrmin_token_moves %d\n", o.C.TokenMoves.Load())
+	fmt.Fprintf(w, "ssrmin_handovers %d\n", o.C.Handovers.Load())
+	fmt.Fprintf(w, "ssrmin_msg_sent %d\n", o.C.MsgSent.Load())
+	fmt.Fprintf(w, "ssrmin_msg_recv %d\n", o.C.MsgRecv.Load())
+	fmt.Fprintf(w, "ssrmin_msg_dropped %d\n", o.C.MsgDropped.Load())
+	fmt.Fprintf(w, "ssrmin_converged %d\n", o.C.Converged.Load())
+	writeHist(w, "ssrmin_step_moves", &o.StepMoves)
+	writeHist(w, "ssrmin_converge_steps", &o.ConvergeSteps)
+	writeHist(w, "ssrmin_handover_gap_us", &o.HandoverGap)
+}
+
+func writeHist(w io.Writer, name string, h *Histogram) {
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum())
+	snap := h.Snapshot()
+	var cum int64
+	for i, v := range snap {
+		cum += v
+		if v != 0 {
+			fmt.Fprintf(w, "%s_bucket{le=%d} %d\n", name, BucketBound(i), cum)
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the text exposition — mount it
+// at /metrics.
+func (o *Observer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.WriteText(w)
+	})
+}
+
+// Vars returns a flat snapshot of the counters, the shape Publish exposes
+// through expvar.
+func (o *Observer) Vars() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	m := map[string]int64{
+		"steps":       o.C.Steps.Load(),
+		"rule_fired":  o.C.RuleFired.Load(),
+		"token_moves": o.C.TokenMoves.Load(),
+		"handovers":   o.C.Handovers.Load(),
+		"msg_sent":    o.C.MsgSent.Load(),
+		"msg_recv":    o.C.MsgRecv.Load(),
+		"msg_dropped": o.C.MsgDropped.Load(),
+		"converged":   o.C.Converged.Load(),
+	}
+	for r := 1; r < MaxRules; r++ {
+		if v := o.C.Rules[r].Load(); v != 0 {
+			m[fmt.Sprintf("rule_%d", r)] = v
+		}
+	}
+	return m
+}
+
+// SortedVarNames returns the Vars keys in stable order (test helper and
+// deterministic dumps).
+func (o *Observer) SortedVarNames() []string {
+	vars := o.Vars()
+	names := make([]string, 0, len(vars))
+	for k := range vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Publish registers the observer under name in the process-wide expvar
+// registry (visible at /debug/vars). Publishing the same name twice
+// panics, per expvar semantics — call once per process.
+func (o *Observer) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return o.Vars() }))
+}
+
+// Serve starts an HTTP server on addr exposing the observer at /metrics
+// and the process expvars at /debug/vars. It returns the bound address
+// (useful with ":0") and a shutdown function.
+func Serve(addr string, o *Observer) (bound string, shutdown func() error, err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", o.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	return l.Addr().String(), srv.Close, nil
+}

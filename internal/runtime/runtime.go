@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssrmin/internal/obs"
 	"ssrmin/internal/statemodel"
 )
 
@@ -72,15 +73,19 @@ type Ring[S comparable] struct {
 	wg      sync.WaitGroup
 	started bool
 	stopped bool
+
+	obsv *obs.Observer
+	t0   time.Time
 }
 
 type link[S comparable] struct {
-	in, out chan S
-	delay   time.Duration
-	jitter  time.Duration
-	loss    float64
-	dropped atomic.Int64
-	carried atomic.Int64
+	in, out  chan S
+	from, to int
+	delay    time.Duration
+	jitter   time.Duration
+	loss     float64
+	dropped  atomic.Int64
+	carried  atomic.Int64
 }
 
 type liveNode[S comparable] struct {
@@ -103,6 +108,8 @@ type liveNode[S comparable] struct {
 	// application layer uses it to switch activity on and off.
 	OnPrivilege func(id int, holds bool)
 	holder      func(statemodel.View[S]) bool
+	wasPriv     bool
+	ring        *Ring[S]
 }
 
 // NewRing builds a live ring over init. Call Start to launch it and Stop
@@ -115,16 +122,23 @@ func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S
 	if opts.Refresh <= 0 {
 		panic("runtime: Refresh must be positive")
 	}
-	r := &Ring[S]{alg: alg, n: n, opts: opts}
+	r := &Ring[S]{alg: alg, n: n, opts: opts, t0: time.Now()}
 	seedRNG := rand.New(rand.NewSource(opts.Seed))
 
 	// Directed links: index 2i   = i -> i+1 (to successor),
 	//                 index 2i+1 = i -> i-1 (to predecessor).
 	r.links = make([]*link[S], 2*n)
 	for i := range r.links {
+		node := i / 2
+		peer := (node + 1) % n
+		if i%2 == 1 {
+			peer = (node - 1 + n) % n
+		}
 		r.links[i] = &link[S]{
 			in:     make(chan S, 1),
 			out:    make(chan S, 1),
+			from:   node,
+			to:     peer,
 			delay:  opts.Delay,
 			jitter: opts.Jitter,
 			loss:   opts.LossProb,
@@ -146,6 +160,7 @@ func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S
 			toSucc:   r.links[2*i],
 			refresh:  opts.Refresh,
 			rng:      rand.New(rand.NewSource(seedRNG.Int63())),
+			ring:     r,
 		}
 		if opts.CoherentCaches {
 			nd.cachePred, nd.cacheSucc = init[pred], init[succ]
@@ -173,6 +188,27 @@ func (r *Ring[S]) SetPrivilegeCallback(holder func(statemodel.View[S]) bool, cb 
 	}
 }
 
+// SetObserver installs o on the ring: rule firings and message
+// send/recv/drop events are emitted from the node and relay goroutines
+// (times are wall-clock seconds since Start). When holder is non-nil it
+// is installed as the privilege predicate on nodes that have none, so
+// privilege handovers are detected and emitted too. Must be called
+// before Start.
+func (r *Ring[S]) SetObserver(o *obs.Observer, holder func(statemodel.View[S]) bool) {
+	if r.started {
+		panic("runtime: SetObserver after Start")
+	}
+	r.obsv = o
+	for _, nd := range r.nodes {
+		if nd.holder == nil {
+			nd.holder = holder
+		}
+	}
+}
+
+// since returns seconds of wall-clock time since the ring started.
+func (r *Ring[S]) since() float64 { return time.Since(r.t0).Seconds() }
+
 // Start launches the ring with a background context.
 func (r *Ring[S]) Start() { r.StartContext(context.Background()) }
 
@@ -182,6 +218,7 @@ func (r *Ring[S]) StartContext(ctx context.Context) {
 		panic("runtime: double Start")
 	}
 	r.started = true
+	r.t0 = time.Now()
 	r.ctx, r.cancel = context.WithCancel(ctx)
 	for i, l := range r.links {
 		r.wg.Add(1)
@@ -226,6 +263,9 @@ func (r *Ring[S]) relay(l *link[S], rng *rand.Rand) {
 			}
 			if l.loss > 0 && rng.Float64() < l.loss {
 				l.dropped.Add(1)
+				if o := r.obsv; o != nil {
+					o.MsgDropped(r.since(), l.to, l.from)
+				}
 				continue
 			}
 			// Deliver; if the receiver's buffer is full the message is
@@ -233,8 +273,14 @@ func (r *Ring[S]) relay(l *link[S], rng *rand.Rand) {
 			select {
 			case l.out <- s:
 				l.carried.Add(1)
+				if o := r.obsv; o != nil {
+					o.MsgRecv(r.since(), l.to, l.from)
+				}
 			default:
 				l.dropped.Add(1)
+				if o := r.obsv; o != nil {
+					o.MsgDropped(r.since(), l.to, l.from)
+				}
 			}
 		}
 	}
@@ -280,6 +326,9 @@ func (nd *liveNode[S]) step() {
 	if rule := nd.alg.EnabledRule(v); rule != 0 {
 		nd.state = nd.alg.Apply(v, rule)
 		nd.executions.Add(1)
+		if o := nd.ring.obsv; o != nil {
+			o.RuleFired(nd.ring.since(), nd.id, rule)
+		}
 	}
 	nd.publish()
 	nd.notifyPrivilege()
@@ -295,20 +344,37 @@ func (nd *liveNode[S]) publish() {
 }
 
 func (nd *liveNode[S]) notifyPrivilege() {
-	if nd.OnPrivilege != nil && nd.holder != nil {
-		nd.OnPrivilege(nd.id, nd.holder(nd.view()))
+	if nd.holder == nil {
+		return
 	}
+	holds := nd.holder(nd.view())
+	if nd.OnPrivilege != nil {
+		nd.OnPrivilege(nd.id, holds)
+	}
+	if o := nd.ring.obsv; o != nil && holds != nd.wasPriv {
+		o.Handover(nd.ring.since(), nd.id, holds)
+	}
+	nd.wasPriv = holds
 }
 
 // announce sends the state into both outgoing links, dropping on busy.
 func (nd *liveNode[S]) announce() {
+	nd.send(nd.toPred)
+	nd.send(nd.toSucc)
+}
+
+// send offers the state to one outgoing link, dropping when the link is
+// still holding an undelivered frame (one message per direction).
+func (nd *liveNode[S]) send(l *link[S]) {
 	select {
-	case nd.toPred.in <- nd.state:
+	case l.in <- nd.state:
+		if o := nd.ring.obsv; o != nil {
+			o.MsgSent(nd.ring.since(), l.from, l.to)
+		}
 	default:
-	}
-	select {
-	case nd.toSucc.in <- nd.state:
-	default:
+		if o := nd.ring.obsv; o != nil {
+			o.MsgDropped(nd.ring.since(), l.to, l.from)
+		}
 	}
 }
 

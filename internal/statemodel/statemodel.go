@@ -16,7 +16,11 @@
 // exhaustive model checker.
 package statemodel
 
-import "fmt"
+import (
+	"fmt"
+
+	"ssrmin/internal/obs"
+)
 
 // View is the read set of one process in the state-reading model: its own
 // local state and the local states of its predecessor (P_{i-1 mod n}) and
@@ -210,6 +214,11 @@ type Simulator[S comparable] struct {
 	// step index (1 for the first transition), the moves executed, and the
 	// resulting configuration. Hooks must not mutate cfg.
 	OnStep func(step int, moves []Move, cfg Config[S])
+
+	// Obs, when non-nil, receives one step record and one rule-fired
+	// event per executed move; the event time is the step index. Install
+	// it before running.
+	Obs *obs.Observer
 }
 
 // NewSimulator returns a simulator positioned at the initial configuration
@@ -245,6 +254,13 @@ func (s *Simulator[S]) Step() ([]Move, bool) {
 	validateSelection(enabled, sel)
 	s.cfg = Apply(s.alg, s.cfg, sel)
 	s.steps++
+	if s.Obs != nil {
+		t := float64(s.steps)
+		s.Obs.Step(t, len(sel))
+		for _, m := range sel {
+			s.Obs.RuleFired(t, m.Process, m.Rule)
+		}
+	}
 	if s.OnStep != nil {
 		s.OnStep(s.steps, sel, s.cfg)
 	}

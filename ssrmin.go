@@ -28,6 +28,43 @@
 // critical-section system. The exhaustive model checker (used by the test
 // suite) and the experiment harness that regenerates every figure of the
 // paper live in cmd/ and internal/.
+//
+// # Options
+//
+// All three in-process constructors — NewSimulation, NewMPSimulation and
+// NewLiveRing — accept one shared vocabulary of functional options:
+//
+//	sim  := ssrmin.NewSimulation(5, ssrmin.WithK(7), ssrmin.WithRecording())
+//	mp   := ssrmin.NewMPSimulation(5, ssrmin.WithSeed(1), ssrmin.WithLoss(0.1))
+//	ring := ssrmin.NewLiveRing(5, ssrmin.WithSeed(1), ssrmin.WithDelay(2*time.Millisecond))
+//
+// Options that do not apply to a vehicle are ignored by it (WithDaemon
+// only schedules the state-reading simulation; WithHold only delays rule
+// execution in the message-passing simulation). WithObserver and WithSink
+// attach the instrumentation layer of internal/obs to any vehicle; see
+// Observer below.
+//
+// # Migration from MPOptions/LiveOptions
+//
+// Before this API, NewMPSimulation and NewLiveRing took dedicated option
+// structs. Those structs still compile — they implement Option, so
+// NewMPSimulation(n, MPOptions{Seed: 1}) keeps working — but they are
+// deprecated. Replace struct fields with the corresponding option:
+//
+//	MPOptions{K: 7}                 → WithK(7)
+//	MPOptions{Seed: 3}              → WithSeed(3)
+//	MPOptions{Delay: 0.02}          → WithDelay(20 * time.Millisecond)
+//	MPOptions{Jitter: 0.004}        → WithJitter(4 * time.Millisecond)
+//	MPOptions{LossProb: 0.1}        → WithLoss(0.1)
+//	MPOptions{Refresh: 0.05}        → WithRefresh(50 * time.Millisecond)
+//	MPOptions{Hold: 0.02}           → WithHold(20 * time.Millisecond)
+//	MPOptions{Initial: cfg}         → WithInitial(cfg)
+//	MPOptions{IncoherentCaches: _}  → WithIncoherentCaches()
+//	LiveOptions{Delay: d, ...}      → WithDelay(d), ... (same names)
+//
+// The two vocabularies are bit-identical: a run configured through
+// options produces the same trace as the same run configured through the
+// legacy structs (asserted by the golden API tests).
 package ssrmin
 
 import (
@@ -36,12 +73,14 @@ import (
 	"math/rand"
 	"time"
 
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/core"
 	"ssrmin/internal/cst"
 	"ssrmin/internal/daemon"
 	"ssrmin/internal/dijkstra"
 	"ssrmin/internal/msgnet"
 	"ssrmin/internal/netring"
+	"ssrmin/internal/obs"
 	"ssrmin/internal/runtime"
 	"ssrmin/internal/statemodel"
 	"ssrmin/internal/trace"
@@ -95,40 +134,164 @@ func RandomConfig(a *Algorithm, rng *rand.Rand) Config {
 func Count(cfg Config) TokenCount { return verify.Count(cfg) }
 
 // ---------------------------------------------------------------------------
-// State-reading simulation
+// Observability
 // ---------------------------------------------------------------------------
 
-// Simulation runs SSRmin in the state-reading model under a daemon.
-type Simulation struct {
-	alg *Algorithm
-	sim *statemodel.Simulator[core.State]
-	rec *trace.Recorder[core.State]
-}
+// Observer is the instrumentation hub of internal/obs: lock-free counters,
+// fixed-bucket histograms and an optional structured event sink. Create
+// one with NewObserver, install it with WithObserver (or let WithSink
+// create one implicitly), and read it back via the Observer method of the
+// vehicle. Its WriteText/Handler methods serve the /metrics text format.
+type Observer = obs.Observer
 
-// SimOption configures NewSimulation.
-type SimOption func(*simConfig)
+// Sink receives one Event per instrumented occurrence; see NewJSONLSink.
+type Sink = obs.Sink
 
-type simConfig struct {
+// Event is one structured observability record.
+type Event = obs.Event
+
+// EventKind discriminates Event records (rule fired, token moved, ...).
+type EventKind = obs.Kind
+
+// JSONLSink writes events as JSON Lines; create one with NewJSONLSink.
+type JSONLSink = obs.JSONL
+
+// NewObserver returns an Observer forwarding events to sink. A nil sink
+// keeps counters and histograms live but emits no events.
+func NewObserver(sink Sink) *Observer { return obs.New(sink) }
+
+// NewJSONLSink returns a Sink encoding each event as one JSON line on w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONL(w) }
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+// Option configures NewSimulation, NewMPSimulation or NewLiveRing. All
+// three constructors share one vocabulary; options irrelevant to a
+// vehicle are ignored by it.
+type Option interface{ apply(*options) }
+
+// SimOption is the historical name of Option.
+//
+// Deprecated: use Option.
+type SimOption = Option
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(c *options) { f(c) }
+
+// options is the merged configuration of all three vehicles. Delays are
+// held both as float64 simulated seconds (the message-passing vehicle's
+// native unit, preserving the exact float arithmetic of the legacy
+// MPOptions defaults) and as time.Duration (the live ring's unit).
+type options struct {
 	k       int
 	daemon  Daemon
 	initial Config
 	record  bool
+
+	seed    int64
+	seedSet bool
+
+	delaySec, jitterSec, refreshSec, holdSec float64
+	delayDur, jitterDur, refreshDur          time.Duration
+	lossProb                                 float64
+	incoherent                               bool
+
+	obsv *obs.Observer
+	sink obs.Sink
+}
+
+// observer resolves the configured instrumentation: an explicit observer
+// wins; a bare sink gets a fresh observer; neither means nil (all hooks
+// compiled out of the hot paths by nil checks).
+func (c *options) observer() *obs.Observer {
+	if c.obsv == nil {
+		if c.sink == nil {
+			return nil
+		}
+		c.obsv = obs.New(c.sink)
+	} else if c.sink != nil {
+		c.obsv.SetSink(c.sink)
+	}
+	return c.obsv
+}
+
+func (c *options) seedOr(def int64) int64 {
+	if c.seedSet {
+		return c.seed
+	}
+	return def
 }
 
 // WithK sets the counter space (default n+1).
-func WithK(k int) SimOption { return func(c *simConfig) { c.k = k } }
+func WithK(k int) Option { return optionFunc(func(c *options) { c.k = k }) }
 
-// WithDaemon installs a custom scheduler.
-func WithDaemon(d Daemon) SimOption { return func(c *simConfig) { c.daemon = d } }
+// WithDaemon installs a custom scheduler (state-reading simulation only).
+func WithDaemon(d Daemon) Option { return optionFunc(func(c *options) { c.daemon = d }) }
 
 // WithInitial sets the initial configuration (default: the canonical
 // legitimate configuration with both tokens at P0).
-func WithInitial(cfg Config) SimOption {
-	return func(c *simConfig) { c.initial = cfg.Clone() }
+func WithInitial(cfg Config) Option {
+	return optionFunc(func(c *options) { c.initial = cfg.Clone() })
 }
 
-// WithRecording enables trace capture for RenderTrace/RenderTokens.
-func WithRecording() SimOption { return func(c *simConfig) { c.record = true } }
+// WithRecording enables trace capture for RenderTrace/RenderTokens
+// (state-reading simulation only).
+func WithRecording() Option { return optionFunc(func(c *options) { c.record = true }) }
+
+// WithSeed drives all randomness of the vehicle: the default central
+// daemon of NewSimulation (default seed 1), and the link delays, jitter
+// and loss draws of NewMPSimulation and NewLiveRing (default seed 0).
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *options) { c.seed = seed; c.seedSet = true })
+}
+
+// WithDelay sets the base link delay (message-passing and live vehicles).
+// Defaults: 10ms simulated for NewMPSimulation, 1ms wall-clock for
+// NewLiveRing.
+func WithDelay(d time.Duration) Option {
+	return optionFunc(func(c *options) { c.delayDur = d; c.delaySec = d.Seconds() })
+}
+
+// WithJitter sets the uniform extra delay bound. Defaults: Delay/5
+// simulated for NewMPSimulation, 200µs wall-clock for NewLiveRing.
+func WithJitter(d time.Duration) Option {
+	return optionFunc(func(c *options) { c.jitterDur = d; c.jitterSec = d.Seconds() })
+}
+
+// WithRefresh sets the periodic announcement interval. Defaults: 5×Delay
+// simulated for NewMPSimulation, 5ms wall-clock for NewLiveRing.
+func WithRefresh(d time.Duration) Option {
+	return optionFunc(func(c *options) { c.refreshDur = d; c.refreshSec = d.Seconds() })
+}
+
+// WithHold sets the critical-section dwell before executing an enabled
+// rule (message-passing vehicle only).
+func WithHold(d time.Duration) Option {
+	return optionFunc(func(c *options) { c.holdSec = d.Seconds() })
+}
+
+// WithLoss sets the per-message loss probability.
+func WithLoss(p float64) Option { return optionFunc(func(c *options) { c.lossProb = p }) }
+
+// WithIncoherentCaches seeds neighbor caches with arbitrary states instead
+// of the neighbors' true states — Theorem-4 style adversarial starts.
+func WithIncoherentCaches() Option {
+	return optionFunc(func(c *options) { c.incoherent = true })
+}
+
+// WithObserver installs o as the vehicle's instrumentation hub. The
+// vehicle feeds o's counters, histograms and sink; read it back with the
+// vehicle's Observer method.
+func WithObserver(o *Observer) Option {
+	return optionFunc(func(c *options) { c.obsv = o })
+}
+
+// WithSink attaches s to the vehicle's observer, creating a fresh
+// observer when none was installed with WithObserver.
+func WithSink(s Sink) Option { return optionFunc(func(c *options) { c.sink = s }) }
 
 // CentralDaemon activates one random enabled process per step.
 func CentralDaemon(seed int64) Daemon {
@@ -156,31 +319,102 @@ func StarvingDaemon(seed int64, victims ...int) Daemon {
 	return daemon.NewStarver(rand.New(rand.NewSource(seed)), victims...)
 }
 
+// ParseDaemon builds a daemon from its registry name — one of
+// DaemonNames() — sharing the registry used by the cmd/ flag parsing:
+// "central", "sync", "distributed", "quiet" or "starve".
+func ParseDaemon(name string, seed int64, p float64) (Daemon, error) {
+	return cliconf.ParseDaemon(name, seed, p)
+}
+
+// DaemonNames lists the names ParseDaemon accepts.
+func DaemonNames() []string { return cliconf.DaemonNames() }
+
+// ---------------------------------------------------------------------------
+// State-reading simulation
+// ---------------------------------------------------------------------------
+
+// Simulation runs SSRmin in the state-reading model under a daemon.
+type Simulation struct {
+	alg  *Algorithm
+	sim  *statemodel.Simulator[core.State]
+	rec  *trace.Recorder[core.State]
+	obsv *obs.Observer
+}
+
 // NewSimulation builds a state-reading simulation of SSRmin with n
 // processes. Defaults: K = n+1, a seeded central daemon, the canonical
 // legitimate initial configuration.
-func NewSimulation(n int, opts ...SimOption) *Simulation {
-	c := simConfig{k: n + 1}
+func NewSimulation(n int, opts ...Option) *Simulation {
+	c := options{k: n + 1}
 	for _, o := range opts {
-		o(&c)
+		o.apply(&c)
 	}
 	alg := core.New(n, c.k)
 	if c.daemon == nil {
-		c.daemon = CentralDaemon(1)
+		c.daemon = CentralDaemon(c.seedOr(1))
 	}
 	if c.initial == nil {
 		c.initial = alg.InitialLegitimate()
 	}
-	s := &Simulation{alg: alg, sim: statemodel.NewSimulator[core.State](alg, c.daemon, c.initial)}
+	s := &Simulation{
+		alg:  alg,
+		sim:  statemodel.NewSimulator[core.State](alg, c.daemon, c.initial),
+		obsv: c.observer(),
+	}
 	if c.record {
 		s.rec = &trace.Recorder[core.State]{}
 		s.rec.Attach(s.sim)
 	}
+	if o := s.obsv; o != nil {
+		s.sim.Obs = o
+		prev := s.sim.OnStep // compose with the recorder's hook, if any
+		lastTok := holderVec(n, alg.TokenHolders(s.sim.Config()))
+		lastPrim := firstHolder(alg.PrimaryHolders(s.sim.Config()))
+		s.sim.OnStep = func(step int, moves []Move, cfg Config) {
+			if prev != nil {
+				prev(step, moves, cfg)
+			}
+			t := float64(step)
+			cur := holderVec(n, alg.TokenHolders(cfg))
+			for i := 0; i < n; i++ {
+				if cur[i] != lastTok[i] {
+					o.Handover(t, i, cur[i])
+				}
+			}
+			lastTok = cur
+			if p := firstHolder(alg.PrimaryHolders(cfg)); p != lastPrim {
+				if p >= 0 && lastPrim >= 0 {
+					o.TokenMoved(t, lastPrim, p)
+				}
+				lastPrim = p
+			}
+		}
+	}
 	return s
+}
+
+// holderVec expands a holder id list into a per-process bool vector so
+// handover diffs iterate in deterministic process order.
+func holderVec(n int, ids []int) []bool {
+	v := make([]bool, n)
+	for _, i := range ids {
+		v[i] = true
+	}
+	return v
+}
+
+func firstHolder(ids []int) int {
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[0]
 }
 
 // Algorithm returns the underlying algorithm instance.
 func (s *Simulation) Algorithm() *Algorithm { return s.alg }
+
+// Observer returns the installed instrumentation hub, or nil.
+func (s *Simulation) Observer() *Observer { return s.obsv }
 
 // Config returns a copy of the current configuration.
 func (s *Simulation) Config() Config { return s.sim.Config() }
@@ -202,7 +436,11 @@ func (s *Simulation) Run(maxSteps int) int { return s.sim.Run(maxSteps) }
 // (Definition 1) or maxSteps transitions elapsed; it returns the number of
 // steps taken and whether legitimacy was reached.
 func (s *Simulation) RunUntilLegitimate(maxSteps int) (int, bool) {
-	return s.sim.RunUntil(s.alg.Legitimate, maxSteps)
+	steps, ok := s.sim.RunUntil(s.alg.Legitimate, maxSteps)
+	if ok && s.obsv != nil {
+		s.obsv.ConvergedAt(float64(s.sim.Steps()), steps)
+	}
+	return steps, ok
 }
 
 // Legitimate reports whether the current configuration is legitimate.
@@ -245,6 +483,10 @@ func (s *Simulation) WriteCSV(w io.Writer) error {
 // ---------------------------------------------------------------------------
 
 // MPOptions configures a message-passing simulation.
+//
+// Deprecated: pass functional options to NewMPSimulation instead; see the
+// migration table in the package documentation. MPOptions implements
+// Option, so existing call sites keep compiling and behave identically.
 type MPOptions struct {
 	// K is the counter space (default n+1).
 	K int
@@ -268,54 +510,127 @@ type MPOptions struct {
 	IncoherentCaches bool
 }
 
+// apply merges the non-zero fields, making the legacy struct a valid
+// Option. Zero fields mean "default", exactly as they always did.
+func (o MPOptions) apply(c *options) {
+	if o.K != 0 {
+		c.k = o.K
+	}
+	if o.Delay != 0 {
+		c.delaySec = o.Delay
+	}
+	if o.Jitter != 0 {
+		c.jitterSec = o.Jitter
+	}
+	if o.LossProb != 0 {
+		c.lossProb = o.LossProb
+	}
+	if o.Refresh != 0 {
+		c.refreshSec = o.Refresh
+	}
+	if o.Hold != 0 {
+		c.holdSec = o.Hold
+	}
+	if o.Seed != 0 {
+		c.seed = o.Seed
+		c.seedSet = true
+	}
+	if o.Initial != nil {
+		c.initial = o.Initial
+	}
+	if o.IncoherentCaches {
+		c.incoherent = true
+	}
+}
+
 // MPSimulation is a CST-transformed SSRmin ring over the discrete-event
 // network, with a token-census timeline attached.
 type MPSimulation struct {
 	alg  *Algorithm
 	ring *cst.Ring[core.State]
 	tl   verify.Timeline
+	obsv *obs.Observer
 	done bool
 }
 
 // NewMPSimulation builds the message-passing simulation.
-func NewMPSimulation(n int, opts MPOptions) *MPSimulation {
-	if opts.K == 0 {
-		opts.K = n + 1
+func NewMPSimulation(n int, opts ...Option) *MPSimulation {
+	c := options{k: n + 1}
+	for _, o := range opts {
+		o.apply(&c)
 	}
-	if opts.Delay == 0 {
-		opts.Delay = 0.01
+	// Defaults use the exact float arithmetic of the legacy MPOptions
+	// path so seeded runs stay bit-identical across the API change.
+	delay := c.delaySec
+	if delay == 0 {
+		delay = 0.01
 	}
-	if opts.Jitter == 0 {
-		opts.Jitter = opts.Delay / 5
+	jitter := c.jitterSec
+	if jitter == 0 {
+		jitter = delay / 5
 	}
-	if opts.Refresh == 0 {
-		opts.Refresh = 5 * opts.Delay
+	refresh := c.refreshSec
+	if refresh == 0 {
+		refresh = 5 * delay
 	}
-	alg := core.New(n, opts.K)
-	init := opts.Initial
+	k := c.k
+	alg := core.New(n, k)
+	init := c.initial
 	if init == nil {
 		init = alg.InitialLegitimate()
 	}
 	ring := cst.NewRing[core.State](alg, init, cst.Options[core.State]{
 		Link: msgnet.LinkParams{
-			Delay:    msgnet.Time(opts.Delay),
-			Jitter:   msgnet.Time(opts.Jitter),
-			LossProb: opts.LossProb,
+			Delay:    msgnet.Time(delay),
+			Jitter:   msgnet.Time(jitter),
+			LossProb: c.lossProb,
 		},
-		Refresh:        msgnet.Time(opts.Refresh),
-		Hold:           msgnet.Time(opts.Hold),
-		Seed:           opts.Seed,
-		CoherentCaches: !opts.IncoherentCaches,
+		Refresh:        msgnet.Time(refresh),
+		Hold:           msgnet.Time(c.holdSec),
+		Seed:           c.seedOr(0),
+		CoherentCaches: !c.incoherent,
 		RandomState: func(rng *rand.Rand) State {
-			return State{X: rng.Intn(opts.K), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+			return State{X: rng.Intn(k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
 		},
 	})
-	m := &MPSimulation{alg: alg, ring: ring}
-	ring.Net.Observer = func(now msgnet.Time) {
-		m.tl.Record(float64(now), ring.Census(core.HasToken))
+	m := &MPSimulation{alg: alg, ring: ring, obsv: c.observer()}
+	if o := m.obsv; o == nil {
+		ring.Net.Observer = func(now msgnet.Time) {
+			m.tl.Record(float64(now), ring.Census(core.HasToken))
+		}
+	} else {
+		ring.Net.Obs = o
+		for i, nd := range ring.Nodes {
+			id := i
+			nd.OnExecute = func(now msgnet.Time, rule int) {
+				o.RuleFired(float64(now), id, rule)
+			}
+		}
+		lastTok := holderVec(n, ring.Holders(core.HasToken))
+		lastPrim := firstHolder(ring.Holders(core.HasPrimary))
+		ring.Net.Observer = func(now msgnet.Time) {
+			t := float64(now)
+			m.tl.Record(t, ring.Census(core.HasToken))
+			cur := holderVec(n, ring.Holders(core.HasToken))
+			for i := 0; i < n; i++ {
+				if cur[i] != lastTok[i] {
+					o.Handover(t, i, cur[i])
+				}
+			}
+			lastTok = cur
+			if p := firstHolder(ring.Holders(core.HasPrimary)); p != lastPrim {
+				if p >= 0 && lastPrim >= 0 {
+					o.TokenMoved(t, lastPrim, p)
+				}
+				lastPrim = p
+			}
+		}
 	}
 	return m
 }
+
+// Observer returns the installed instrumentation hub, or nil.
+func (m *MPSimulation) Observer() *Observer { return m.obsv }
 
 // Run advances simulated time to the given horizon (seconds).
 func (m *MPSimulation) Run(until float64) {
@@ -360,6 +675,10 @@ func (m *MPSimulation) Ring() *cst.Ring[core.State] { return m.ring }
 // ---------------------------------------------------------------------------
 
 // LiveOptions configures a live ring.
+//
+// Deprecated: pass functional options to NewLiveRing instead; see the
+// migration table in the package documentation. LiveOptions implements
+// Option, so existing call sites keep compiling and behave identically.
 type LiveOptions struct {
 	// K is the counter space (default n+1).
 	K int
@@ -375,47 +694,90 @@ type LiveOptions struct {
 	IncoherentCaches bool
 }
 
+// apply merges the non-zero fields, making the legacy struct a valid
+// Option. Zero fields mean "default", exactly as they always did.
+func (o LiveOptions) apply(c *options) {
+	if o.K != 0 {
+		c.k = o.K
+	}
+	if o.Delay != 0 {
+		c.delayDur = o.Delay
+	}
+	if o.Jitter != 0 {
+		c.jitterDur = o.Jitter
+	}
+	if o.Refresh != 0 {
+		c.refreshDur = o.Refresh
+	}
+	if o.LossProb != 0 {
+		c.lossProb = o.LossProb
+	}
+	if o.Seed != 0 {
+		c.seed = o.Seed
+		c.seedSet = true
+	}
+	if o.Initial != nil {
+		c.initial = o.Initial
+	}
+	if o.IncoherentCaches {
+		c.incoherent = true
+	}
+}
+
 // LiveRing is a running SSRmin deployment: one goroutine per node, Go
 // channels as one-message-per-direction links.
 type LiveRing struct {
 	alg  *Algorithm
 	ring *runtime.Ring[core.State]
+	obsv *obs.Observer
 }
 
 // NewLiveRing builds (but does not start) a live ring.
-func NewLiveRing(n int, opts LiveOptions) *LiveRing {
-	if opts.K == 0 {
-		opts.K = n + 1
+func NewLiveRing(n int, opts ...Option) *LiveRing {
+	c := options{k: n + 1}
+	for _, o := range opts {
+		o.apply(&c)
 	}
-	if opts.Delay == 0 {
-		opts.Delay = time.Millisecond
+	delay := c.delayDur
+	if delay == 0 {
+		delay = time.Millisecond
 	}
-	if opts.Jitter == 0 {
-		opts.Jitter = 200 * time.Microsecond
+	jitter := c.jitterDur
+	if jitter == 0 {
+		jitter = 200 * time.Microsecond
 	}
-	if opts.Refresh == 0 {
-		opts.Refresh = 5 * time.Millisecond
+	refresh := c.refreshDur
+	if refresh == 0 {
+		refresh = 5 * time.Millisecond
 	}
-	alg := core.New(n, opts.K)
-	init := opts.Initial
+	k := c.k
+	alg := core.New(n, k)
+	init := c.initial
 	if init == nil {
 		init = alg.InitialLegitimate()
 	}
 	ropts := runtime.Options[core.State]{
-		Delay:          opts.Delay,
-		Jitter:         opts.Jitter,
-		LossProb:       opts.LossProb,
-		Refresh:        opts.Refresh,
-		Seed:           opts.Seed,
-		CoherentCaches: !opts.IncoherentCaches,
+		Delay:          delay,
+		Jitter:         jitter,
+		LossProb:       c.lossProb,
+		Refresh:        refresh,
+		Seed:           c.seedOr(0),
+		CoherentCaches: !c.incoherent,
 	}
-	if opts.IncoherentCaches {
+	if c.incoherent {
 		ropts.RandomState = func(rng *rand.Rand) State {
-			return State{X: rng.Intn(opts.K), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+			return State{X: rng.Intn(k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
 		}
 	}
-	return &LiveRing{alg: alg, ring: runtime.NewRing[core.State](alg, init, ropts)}
+	l := &LiveRing{alg: alg, ring: runtime.NewRing[core.State](alg, init, ropts), obsv: c.observer()}
+	if l.obsv != nil {
+		l.ring.SetObserver(l.obsv, core.HasToken)
+	}
+	return l
 }
+
+// Observer returns the installed instrumentation hub, or nil.
+func (l *LiveRing) Observer() *Observer { return l.obsv }
 
 // OnPrivilege installs an application callback invoked (from node
 // goroutines) whenever a node's privilege changes. Must be called before
