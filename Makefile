@@ -4,9 +4,9 @@ GO ?= go
 
 .PHONY: all build test test-race test-race-core test-short cover bench \
         bench-check bench-obs experiments experiments-quick modelcheck \
-        modelcheck-n5 examples fmt vet clean
+        modelcheck-n5 examples fmt vet lint fuzz-short clean
 
-all: build vet test test-race-core
+all: build vet lint test test-race-core
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,12 @@ test-race:
 	$(GO) test -race ./...
 
 # Race-check the concurrency-heavy packages (the parallel ID-space engine,
-# the sweep driver, and the observer fed by live ring goroutines) without
+# the sweep driver, the observer fed by live ring goroutines, the
+# discrete-event network, and the goroutine-per-node runtime) without
 # paying for the whole suite under -race.
 test-race-core:
-	$(GO) test -race ./internal/check ./internal/parsweep ./internal/obs
+	$(GO) test -race ./internal/check ./internal/parsweep ./internal/obs \
+	  ./internal/msgnet ./internal/runtime
 
 test-short:
 	$(GO) test -short ./...
@@ -76,6 +78,19 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Domain analyzers (internal/lint): locality of guards/commands,
+# determinism of golden packages, observer nil-guard discipline, lock
+# hygiene. Exits non-zero on any finding; see docs/LINT.md.
+lint:
+	$(GO) run ./cmd/ssrmin-lint ./...
+
+# A quick pass over every native fuzz target (corpus + a few seconds of
+# mutation each); the committed seed corpora always run as plain tests.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzParseDaemon -fuzztime 5s ./internal/cliconf
+	$(GO) test -run '^$$' -fuzz FuzzConfigFlags -fuzztime 5s ./internal/cliconf
+	$(GO) test -run '^$$' -fuzz FuzzJSONLEmit -fuzztime 5s ./internal/obs
 
 clean:
 	$(GO) clean ./...

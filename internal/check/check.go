@@ -256,7 +256,9 @@ type ConvergenceReport[S comparable] struct {
 func (c *Checker[S]) CheckConvergence(legit func(statemodel.Config[S]) bool) ConvergenceReport[S] {
 	rep, _ := c.checkConvergenceRestricted(legit, nil)
 	if rep.Converges {
-		c.Obs.ConvergedAt(0, rep.WorstSteps)
+		if o := c.Obs; o != nil {
+			o.ConvergedAt(0, rep.WorstSteps)
+		}
 	}
 	return rep
 }

@@ -184,7 +184,9 @@ type ConvStats struct {
 func (e *Engine[S]) CheckConvergence(lam *IDSet) (ConvergenceReport[S], ConvStats) {
 	rep, _, stats := e.convergence(lam, e.allRules)
 	if rep.Converges {
-		e.c.Obs.ConvergedAt(0, rep.WorstSteps)
+		if o := e.c.Obs; o != nil {
+			o.ConvergedAt(0, rep.WorstSteps)
+		}
 	}
 	return rep, stats
 }

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Locality enforces the state-reading model of Section 2.1 inside the
+// algorithm packages: a process may read its neighbors' states but write
+// only its own. Concretely, in every function that takes a
+// statemodel.View:
+//
+//   - No assignment may target the Pred or Succ component of a View (a
+//     "neighbor write" — the exact violation Hoepman-style model breaks
+//     smuggle into ring proofs).
+//   - No write may escape the function through a pointer base, a
+//     package-level variable, a non-local map, or a channel send:
+//     algorithm structs are immutable during execution, so EnabledRule
+//     and Apply stay pure functions of the view.
+//
+// Guard functions (EnabledRule methods, Guard*/Has* predicates returning
+// bool) additionally may not perform I/O: a guard is evaluated
+// speculatively by daemons and checkers, often many times per transition,
+// and must be observationally silent.
+var Locality = &Analyzer{
+	Name: "locality",
+	Doc:  "guards are side-effect-free; commands never write a neighbor's view",
+	Packages: []string{
+		"ssrmin/internal/core",
+		"ssrmin/internal/dijkstra",
+		"ssrmin/internal/inclusion",
+		"ssrmin/internal/herman",
+		"ssrmin/internal/compose",
+	},
+	Run: runLocality,
+}
+
+// isViewType reports whether t is (an instantiation of) statemodel.View.
+func isViewType(t types.Type) bool { return isNamed(t, "internal/statemodel", "View") }
+
+// viewFuncKind classifies a function declaration for the locality check.
+type viewFuncKind int
+
+const (
+	notViewFunc viewFuncKind = iota
+	viewCommand              // takes a View; may compute a new self state
+	viewGuard                // takes a View and is a predicate/rule selector
+)
+
+func classifyViewFunc(info *types.Info, fd *ast.FuncDecl) viewFuncKind {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return notViewFunc
+	}
+	hasView := false
+	for _, field := range fd.Type.Params.List {
+		if isViewType(info.TypeOf(field.Type)) {
+			hasView = true
+			break
+		}
+	}
+	if !hasView {
+		return notViewFunc
+	}
+	name := fd.Name.Name
+	if name == "EnabledRule" || len(name) > 5 && name[:5] == "Guard" || name == "Guard" {
+		return viewGuard
+	}
+	// A View function returning a single bool is a predicate (HasToken,
+	// HasPrimary, ...): hold it to the guard standard too.
+	if fd.Type.Results != nil && fd.Type.Results.NumFields() == 1 {
+		if b, ok := info.TypeOf(fd.Type.Results.List[0].Type).(*types.Basic); ok && b.Kind() == types.Bool {
+			return viewGuard
+		}
+	}
+	return viewCommand
+}
+
+func runLocality(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			kind := classifyViewFunc(info, fd)
+			if kind == notViewFunc {
+				continue
+			}
+			checkViewFunc(pass, fd, kind)
+		}
+	}
+}
+
+func checkViewFunc(pass *Pass, fd *ast.FuncDecl, kind viewFuncKind) {
+	info := pass.Pkg.Info
+	body := fd.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLocalityWrite(pass, fd, body, lhs, kind)
+			}
+		case *ast.IncDecStmt:
+			checkLocalityWrite(pass, fd, body, n.X, kind)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"%s sends on a channel inside a state-reading %s; model functions must be pure over the view",
+				fd.Name.Name, kindNoun(kind))
+		case *ast.CallExpr:
+			if kind == viewGuard && isIOCall(info, n) {
+				pass.Reportf(n.Pos(),
+					"guard %s performs I/O; guards are evaluated speculatively and must be silent",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func kindNoun(kind viewFuncKind) string {
+	if kind == viewGuard {
+		return "guard"
+	}
+	return "command"
+}
+
+// checkLocalityWrite inspects one assignment target inside a view
+// function.
+func checkLocalityWrite(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, lhs ast.Expr, kind viewFuncKind) {
+	info := pass.Pkg.Info
+	// Neighbor-view writes: any selector chain passing through the Pred or
+	// Succ field of a View value.
+	if field, ok := neighborViewField(info, lhs); ok {
+		pass.Reportf(lhs.Pos(),
+			"%s writes to the %s component of a View: the state-reading model lets a process write only its own state (Section 2.1)",
+			fd.Name.Name, field)
+		return
+	}
+	base := baseExpr(lhs)
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		// Writing through a parenthesized/call/deref base: escapes the
+		// function.
+		if _, isStar := base.(*ast.StarExpr); isStar {
+			pass.Reportf(lhs.Pos(),
+				"%s writes through a pointer inside a state-reading %s; the write outlives the atomic step",
+				fd.Name.Name, kindNoun(kind))
+		}
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	// Package-level variables: shared mutable state.
+	if v.Parent() == pass.Pkg.Types.Scope() {
+		pass.Reportf(lhs.Pos(),
+			"%s mutates package-level variable %s; algorithm state lives only in the configuration",
+			fd.Name.Name, id.Name)
+		return
+	}
+	// A plain rebinding of a local (or of the by-value View copy itself)
+	// is fine. What is not fine is storing through a pointer-typed local
+	// or receiver: `a.steps++` on a pointer receiver persists across the
+	// atomic step and makes the algorithm stateful.
+	if lhs != id { // selector or index store: a.field = x, m[k] = v
+		if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+			if declaredIn(v, body) && !isParamOrRecv(fd, info, v) {
+				// A pointer the function itself created (e.g. &local):
+				// still local to the step.
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"%s writes through pointer %s inside a state-reading %s; EnabledRule/Apply must be pure functions of the view",
+				fd.Name.Name, id.Name, kindNoun(kind))
+			return
+		}
+		if _, isMap := v.Type().Underlying().(*types.Map); isMap && !declaredIn(v, body) {
+			pass.Reportf(lhs.Pos(),
+				"%s writes into non-local map %s inside a state-reading %s",
+				fd.Name.Name, id.Name, kindNoun(kind))
+		}
+	}
+}
+
+// neighborViewField reports whether expr contains a selection of the Pred
+// or Succ field on a View-typed value and names the field.
+func neighborViewField(info *types.Info, expr ast.Expr) (string, bool) {
+	for {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		if (sel.Sel.Name == "Pred" || sel.Sel.Name == "Succ") && isViewType(info.TypeOf(sel.X)) {
+			return sel.Sel.Name, true
+		}
+		expr = sel.X
+	}
+}
+
+// baseExpr strips selectors, indexes and parens down to the root
+// expression of an lvalue.
+func baseExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			return x
+		default:
+			return e
+		}
+	}
+}
+
+// declaredIn reports whether v's declaration position lies inside block.
+func declaredIn(v *types.Var, block *ast.BlockStmt) bool {
+	return v.Pos() > block.Pos() && v.Pos() < block.End()
+}
+
+// isParamOrRecv reports whether v is one of fd's parameters or its
+// receiver.
+func isParamOrRecv(fd *ast.FuncDecl, info *types.Info, v *types.Var) bool {
+	match := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if info.ObjectOf(name) == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return match(fd.Recv) || match(fd.Type.Params)
+}
+
+// isIOCall reports whether call is an obvious I/O or logging call: any
+// fmt/log/os function with output behaviour, or a Write/WriteString method.
+func isIOCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	switch pkgPathOf(fn) {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "log":
+		return true
+	case "os":
+		switch fn.Name() {
+		case "WriteFile", "Create", "OpenFile", "Remove", "RemoveAll", "Exit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,332 @@
+package lint
+
+import "go/ast"
+
+// LockDiscipline checks the two concurrency hygiene rules of the live
+// packages:
+//
+//   - A sync.Mutex/RWMutex acquired in a function is released on every
+//     path out of it: either the Lock is immediately followed by a defer
+//     of the matching Unlock, or every return (and the fall-off end of
+//     the function) is preceded by one. The check is a small forward
+//     abstract interpretation over the statement tree — branches merge
+//     pessimistically, so a single early return inside one arm of an if
+//     that skips the Unlock is caught.
+//   - A for-loop that multiplexes on channels via select must not also
+//     call bare time.Sleep: sleeping inside a select loop delays shutdown
+//     (ctx.Done is not observed while sleeping) and busy-waits where a
+//     timer channel belongs.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "mutexes unlock on every return path; select loops never busy-sleep",
+	Packages: []string{
+		"ssrmin/internal/runtime",
+		"ssrmin/internal/parsweep",
+		"ssrmin/internal/netring",
+	},
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockPaths(pass, fd)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if loop, ok := n.(*ast.ForStmt); ok {
+				checkSelectSleep(pass, loop.Body)
+			}
+			if loop, ok := n.(*ast.RangeStmt); ok {
+				checkSelectSleep(pass, loop.Body)
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: unlock on every path
+// ---------------------------------------------------------------------------
+
+// lockState is the abstract state of one mutex expression.
+type lockState int
+
+const (
+	unlocked lockState = iota
+	locked
+	deferred // a defer guarantees the unlock, terminally safe
+)
+
+// lockEnv maps mutex keys ("n.mu", "panicMu") to their abstract state.
+type lockEnv map[string]lockState
+
+func (e lockEnv) clone() lockEnv {
+	c := make(lockEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps a mutex locked only when both branches leave it locked;
+// a defer in either branch wins (the unlock is scheduled regardless).
+func (e lockEnv) merge(o lockEnv) {
+	for k, v := range o {
+		cur, ok := e[k]
+		switch {
+		case v == deferred || cur == deferred:
+			e[k] = deferred
+		case !ok:
+			// Locked only on the other path: treat as unlocked here to
+			// stay conservative about false positives.
+			if v == locked {
+				e[k] = unlocked
+			}
+		case cur == locked && v == locked:
+			e[k] = locked
+		default:
+			e[k] = unlocked
+		}
+	}
+	for k, cur := range e {
+		if _, ok := o[k]; !ok && cur == locked {
+			e[k] = unlocked
+		}
+	}
+}
+
+type lockChecker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+}
+
+func checkLockPaths(pass *Pass, fd *ast.FuncDecl) {
+	lc := &lockChecker{pass: pass, fd: fd}
+	env := lockEnv{}
+	lc.block(fd.Body.List, env)
+	if !terminates(fd.Body) { // a trailing return is reported by checkExit
+		for key, st := range env {
+			if st == locked {
+				pass.Reportf(fd.Body.Rbrace,
+					"%s falls off the end with %s still locked; unlock it or defer the unlock at the Lock site",
+					fd.Name.Name, key)
+			}
+		}
+	}
+	// Every function literal (goroutine bodies, deferred closures, worker
+	// funcs) is an independent lock scope: check each one on its own. The
+	// statement walk above never descends into literals.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lc.funcLit(lit)
+		}
+		return true
+	})
+}
+
+// mutexCall recognizes X.Lock/Unlock/RLock/RUnlock on a sync.(RW)Mutex
+// and returns the mutex key and whether it is an acquire.
+func (lc *lockChecker) mutexCall(call *ast.CallExpr) (key string, acquire, isMutex bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	t := lc.pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false, false
+	}
+	if !isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex") {
+		return "", false, false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", false, false
+	}
+	// RLock/RUnlock pair separately from Lock/Unlock on an RWMutex.
+	if sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock" {
+		key += ".R"
+	}
+	return key, acquire, true
+}
+
+// block interprets a statement list, mutating env and reporting returns
+// that leave a mutex held.
+func (lc *lockChecker) block(stmts []ast.Stmt, env lockEnv) {
+	for _, s := range stmts {
+		lc.stmt(s, env)
+	}
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, env lockEnv) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, acquire, isMutex := lc.mutexCall(call); isMutex {
+				if acquire {
+					env[key] = locked
+				} else if env[key] != deferred {
+					env[key] = unlocked
+				}
+				return
+			}
+		}
+	case *ast.DeferStmt:
+		if key, acquire, isMutex := lc.mutexCall(s.Call); isMutex && !acquire {
+			env[key] = deferred
+		}
+	case *ast.ReturnStmt:
+		lc.checkExit(s, env, "return")
+	case *ast.BranchStmt:
+		// break/continue/goto: out of scope for the path analysis.
+	case *ast.BlockStmt:
+		lc.block(s.List, env)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, env)
+		}
+		thenEnv := env.clone()
+		lc.block(s.Body.List, thenEnv)
+		elseEnv := env.clone()
+		if s.Else != nil {
+			lc.stmt(s.Else, elseEnv)
+		}
+		if terminates(s.Body) {
+			// Only the else path continues.
+			replace(env, elseEnv)
+			return
+		}
+		thenEnv.merge(elseEnv)
+		replace(env, thenEnv)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, env)
+		}
+		bodyEnv := env.clone()
+		lc.block(s.Body.List, bodyEnv)
+		env.merge(bodyEnv)
+	case *ast.RangeStmt:
+		bodyEnv := env.clone()
+		lc.block(s.Body.List, bodyEnv)
+		env.merge(bodyEnv)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		lc.branches(s, env)
+	case *ast.LabeledStmt:
+		lc.stmt(s.Stmt, env)
+	}
+}
+
+// branches interprets all case bodies of a switch/select with isolated
+// copies and merges them pessimistically.
+func (lc *lockChecker) branches(s ast.Stmt, env lockEnv) {
+	var bodies [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, env)
+		}
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CommClause).Body)
+		}
+	}
+	if len(bodies) == 0 {
+		return
+	}
+	merged := env.clone()
+	lc.block(bodies[0], merged)
+	for _, b := range bodies[1:] {
+		be := env.clone()
+		lc.block(b, be)
+		merged.merge(be)
+	}
+	replace(env, merged)
+}
+
+// funcLit checks a function literal as an independent function body.
+func (lc *lockChecker) funcLit(lit *ast.FuncLit) {
+	env := lockEnv{}
+	lc.block(lit.Body.List, env)
+	if terminates(lit.Body) {
+		return
+	}
+	for key, st := range env {
+		if st == locked {
+			lc.pass.Reportf(lit.Body.Rbrace,
+				"function literal in %s exits with %s still locked", lc.fd.Name.Name, key)
+		}
+	}
+}
+
+func (lc *lockChecker) checkExit(s ast.Stmt, env lockEnv, how string) {
+	for key, st := range env {
+		if st == locked {
+			lc.pass.Reportf(s.Pos(),
+				"%s in %s while %s is locked and no unlock is deferred; this path leaks the mutex",
+				how, lc.fd.Name.Name, key)
+		}
+	}
+}
+
+func replace(dst, src lockEnv) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no bare time.Sleep inside select loops
+// ---------------------------------------------------------------------------
+
+// checkSelectSleep flags time.Sleep calls in a loop body that also
+// contains a select statement.
+func checkSelectSleep(pass *Pass, body *ast.BlockStmt) {
+	hasSelect := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SelectStmt:
+			hasSelect = true
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	if !hasSelect {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pass.Pkg.Info, call, "time", "Sleep") {
+			pass.Reportf(call.Pos(),
+				"bare time.Sleep inside a select loop blocks shutdown and busy-waits; use a timer/ticker case in the select instead")
+		}
+		return true
+	})
+}

@@ -1,0 +1,79 @@
+// Package determinism is the fixture for the determinism analyzer:
+// map-order leaks, wall-clock reads, and global math/rand draws, next to
+// the commutative and sorted idioms that stay legal.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EmitCounts prints map entries in iteration order.
+func EmitCounts(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want `iteration over map feeds ordered output \(fmt.Fprintf\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// SumCounts is a commutative reduction: order-free, not flagged.
+func SumCounts(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// SortedEmit collects keys, sorts them, then prints: the blessed idiom.
+func SortedEmit(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counts[k])
+	}
+}
+
+// CollectUnsorted materializes the iteration order into a slice and
+// never repairs it.
+func CollectUnsorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts { // want `iteration over map feeds ordered output \(append\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Jitter draws from the global source and reads the wall clock.
+func Jitter() time.Duration {
+	n := rand.Intn(10) // want `global math/rand.Intn uses the shared unseeded source`
+	_ = time.Now()     // want `time.Now in a deterministic package`
+	return time.Duration(n)
+}
+
+// SeededJitter threads an explicit source: legal.
+func SeededJitter(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Describe builds a string across a map: order-dependent.
+func Describe(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `iteration over map feeds ordered output \(string concatenation\)`
+		s += v
+	}
+	return s
+}
+
+// DumpDebug carries an explicit waiver: suppressed, so no finding.
+func DumpDebug(w io.Writer, m map[string]int) {
+	//lint:ignore determinism debug-only dump, not part of any golden
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,67 @@
+// Package locality is the fixture for the locality analyzer: every
+// construct the state-reading model of Section 2.1 forbids inside guard
+// and command functions, next to the clean idioms it must keep quiet on.
+package locality
+
+import (
+	"fmt"
+
+	"ssrmin/internal/statemodel"
+)
+
+// St is a struct state, to exercise nested neighbor-field selectors.
+type St struct{ X, Phase int }
+
+// debugCount is package-level state no view function may touch.
+var debugCount int
+
+// Alg is an algorithm skeleton with a mutable pointer-receiver field.
+type Alg struct{ steps int }
+
+// Guard is named like a guard and breaks every guard rule at once.
+func (a *Alg) Guard(v statemodel.View[int]) bool {
+	debugCount++        // want `mutates package-level variable debugCount`
+	fmt.Println(v.Self) // want `guard Guard performs I/O`
+	return v.Self != v.Pred
+}
+
+// EnabledRule mutates the algorithm through its pointer receiver.
+func (a *Alg) EnabledRule(v statemodel.View[int]) int {
+	a.steps++ // want `writes through pointer a`
+	if v.Self == v.Pred {
+		return 1
+	}
+	return 0
+}
+
+// Apply writes both neighbor components of the view.
+func Apply(v statemodel.View[St]) St {
+	v.Pred.X = 0  // want `writes to the Pred component of a View`
+	v.Succ = St{} // want `writes to the Succ component of a View`
+	return v.Self
+}
+
+// Notify leaks a step observation through a channel.
+func Notify(v statemodel.View[int], ch chan int) int {
+	ch <- v.Self // want `Notify sends on a channel`
+	return v.Self
+}
+
+// GoodGuard reads both neighbors and stays pure.
+func GoodGuard(v statemodel.View[St]) bool {
+	localCopy := v.Self
+	localCopy.X++
+	return localCopy.X > v.Pred.X && v.Succ.Phase == v.Self.Phase
+}
+
+// NextState is a clean command: every write is step-local.
+func NextState(v statemodel.View[St]) St {
+	seen := map[int]bool{}
+	seen[v.Pred.X] = true
+	seen[v.Succ.X] = true
+	out := v.Self
+	if seen[out.X] {
+		out.Phase++
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package lockdiscipline is the fixture for the lockdiscipline analyzer:
+// mutexes leaked on early returns, fall-offs and goroutines, sleeps
+// inside select loops, next to the disciplined shapes.
+package lockdiscipline
+
+import (
+	"sync"
+	"time"
+)
+
+// Box guards a counter with a mutex.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadEarlyReturn leaks the mutex on the early path.
+func (b *Box) BadEarlyReturn(limit int) int {
+	b.mu.Lock()
+	if b.n > limit {
+		return b.n // want `return in BadEarlyReturn while b.mu is locked`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// BadFallOff never unlocks at all.
+func (b *Box) BadFallOff() {
+	b.mu.Lock()
+	b.n++
+} // want `BadFallOff falls off the end with b.mu still locked`
+
+// BadWorker leaks the lock inside a spawned goroutine.
+func (b *Box) BadWorker() {
+	go func() {
+		b.mu.Lock()
+		b.n++
+	}() // want `function literal in BadWorker exits with b.mu still locked`
+}
+
+// GoodDefer is the canonical shape.
+func (b *Box) GoodDefer(limit int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > limit {
+		return b.n
+	}
+	b.n++
+	return b.n
+}
+
+// GoodBothPaths unlocks explicitly on every path.
+func (b *Box) GoodBothPaths(limit int) int {
+	b.mu.Lock()
+	if b.n > limit {
+		b.mu.Unlock()
+		return limit
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// Registry uses reader locking.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// BadReadLeak forgets the RUnlock.
+func (r *Registry) BadReadLeak(k string) int {
+	r.mu.RLock()
+	return r.m[k] // want `return in BadReadLeak while r.mu.R is locked`
+}
+
+// GoodRead pairs RLock with a deferred RUnlock.
+func (r *Registry) GoodRead(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// BadPoll sleeps inside a select loop.
+func BadPoll(ch <-chan int, done <-chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-done:
+			return total
+		}
+		time.Sleep(10 * time.Millisecond) // want `bare time.Sleep inside a select loop`
+	}
+}
+
+// GoodPoll rate-limits with a ticker case instead.
+func GoodPoll(ch <-chan int, done <-chan struct{}) int {
+	total := 0
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-tick.C:
+		case <-done:
+			return total
+		}
+	}
+}

@@ -312,13 +312,17 @@ func (n *Network) send(from, to int, payload any) bool {
 	if l.down {
 		n.stats.Lost++
 		n.tap(TapEvent{At: n.now, Kind: TapLost, Node: to, From: from})
-		n.Obs.MsgDropped(float64(n.now), to, from)
+		if o := n.Obs; o != nil {
+			o.MsgDropped(float64(n.now), to, from)
+		}
 		return false
 	}
 	if n.now < l.busyUntil {
 		n.stats.Suppressed++
 		n.tap(TapEvent{At: n.now, Kind: TapSuppressed, Node: to, From: from})
-		n.Obs.MsgDropped(float64(n.now), to, from)
+		if o := n.Obs; o != nil {
+			o.MsgDropped(float64(n.now), to, from)
+		}
 		return false
 	}
 	if n.LossEnabled && l.params.LossProb > 0 && n.rng.Float64() < l.params.LossProb {
@@ -327,7 +331,9 @@ func (n *Network) send(from, to int, payload any) bool {
 		// garbage).
 		n.stats.Lost++
 		n.tap(TapEvent{At: n.now, Kind: TapLost, Node: to, From: from})
-		n.Obs.MsgDropped(float64(n.now), to, from)
+		if o := n.Obs; o != nil {
+			o.MsgDropped(float64(n.now), to, from)
+		}
 		l.busyUntil = n.now + l.params.Delay + n.jitter(l)
 		return false
 	}
@@ -337,7 +343,9 @@ func (n *Network) send(from, to int, payload any) bool {
 		if n.Corrupt == nil {
 			// No corruption hook: model a checksum that discards the
 			// damaged frame (it still occupied the medium).
-			n.Obs.MsgDropped(float64(n.now), to, from)
+			if o := n.Obs; o != nil {
+				o.MsgDropped(float64(n.now), to, from)
+			}
 			l.busyUntil = n.now + l.params.Delay + n.jitter(l)
 			return false
 		}
@@ -348,7 +356,9 @@ func (n *Network) send(from, to int, payload any) bool {
 	n.push(&event{at: at, kind: evDeliver, node: to, from: from, load: payload})
 	n.stats.Sent++
 	n.tap(TapEvent{At: n.now, Kind: TapSend, Node: to, From: from})
-	n.Obs.MsgSent(float64(n.now), from, to)
+	if o := n.Obs; o != nil {
+		o.MsgSent(float64(n.now), from, to)
+	}
 	if l.params.DupProb > 0 && n.rng.Float64() < l.params.DupProb {
 		n.push(&event{at: at + n.jitter(l), kind: evDeliver, node: to, from: from, load: payload})
 		n.stats.Duplicated++
@@ -393,7 +403,9 @@ func (n *Network) Step() bool {
 	case evDeliver:
 		n.stats.Delivered++
 		n.tap(TapEvent{At: n.now, Kind: TapDeliver, Node: e.node, From: e.from})
-		n.Obs.MsgRecv(float64(n.now), e.node, e.from)
+		if o := n.Obs; o != nil {
+			o.MsgRecv(float64(n.now), e.node, e.from)
+		}
 		n.handlers[e.node].Receive(ctx, e.from, e.load)
 	case evTimer:
 		n.stats.Timers++

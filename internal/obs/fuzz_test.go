@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJSONLEmit pins the hand-rolled encoder's contract for arbitrary
+// events, including hostile ones (non-finite times, out-of-range kinds,
+// negative ids): every emitted line is valid newline-terminated JSON,
+// carries the mandatory fields, makes the optional fields present exactly
+// when documented, and re-encoding the same event is bit-identical (the
+// internal buffer reuse must not leak state between lines).
+func FuzzJSONLEmit(f *testing.F) {
+	f.Add(0.0, 0, 1, 2, 3, true, 4)
+	f.Add(12.5, int(KindHandover), 0, -1, 0, false, 0)
+	f.Add(-1.0, int(KindConverged), -1, -1, -1, false, 137)
+	f.Add(1e300, 255, 7, 7, 7, true, -5)
+	f.Fuzz(func(t *testing.T, tm float64, kind, node, peer, rule int, gained bool, steps int) {
+		e := Event{
+			T:      tm,
+			Kind:   Kind(kind),
+			Node:   node,
+			Peer:   peer,
+			Rule:   rule,
+			Gained: gained,
+			Steps:  steps,
+		}
+		var buf bytes.Buffer
+		s := NewJSONL(&buf)
+		s.Emit(e)
+		line := buf.Bytes()
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			t.Fatalf("line not newline-terminated: %q", line)
+		}
+		if !json.Valid(line) {
+			t.Fatalf("invalid JSON: %s", line)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if _, ok := m["t"]; !ok {
+			t.Fatalf("missing mandatory field t: %s", line)
+		}
+		if ev, ok := m["ev"].(string); !ok || ev != e.Kind.String() {
+			t.Fatalf("ev = %v, want %q in %s", m["ev"], e.Kind.String(), line)
+		}
+		optional := []struct {
+			key  string
+			want bool
+		}{
+			{"node", node >= 0},
+			{"peer", peer >= 0},
+			{"rule", rule > 0},
+			{"gained", e.Kind == KindHandover},
+			{"steps", e.Kind == KindConverged},
+		}
+		for _, o := range optional {
+			if _, ok := m[o.key]; ok != o.want {
+				t.Fatalf("field %q present=%v, want %v in %s", o.key, ok, o.want, line)
+			}
+		}
+		if s.Events() != 1 {
+			t.Fatalf("Events() = %d after one emit", s.Events())
+		}
+
+		s.Emit(e)
+		lines := bytes.SplitAfter(buf.Bytes(), []byte("\n"))
+		if len(lines) < 2 || !bytes.Equal(lines[0], lines[1]) {
+			t.Fatalf("re-encoding the same event differs:\n%q\n%q", lines[0], lines[1])
+		}
+		if s.Err() != nil {
+			t.Fatalf("unexpected sink error: %v", s.Err())
+		}
+	})
+}

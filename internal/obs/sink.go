@@ -2,6 +2,7 @@ package obs
 
 import (
 	"io"
+	"math"
 	"strconv"
 	"sync"
 )
@@ -67,7 +68,13 @@ func (s *JSONL) Emit(e Event) {
 	}
 	b := s.buf[:0]
 	b = append(b, `{"t":`...)
-	b = strconv.AppendFloat(b, e.T, 'f', -1, 64)
+	if math.IsNaN(e.T) || math.IsInf(e.T, 0) {
+		// JSON has no non-finite numbers; a corrupt clock must not
+		// produce an unparseable log line.
+		b = append(b, "null"...)
+	} else {
+		b = strconv.AppendFloat(b, e.T, 'f', -1, 64)
+	}
 	b = append(b, `,"ev":"`...)
 	b = append(b, e.Kind.String()...)
 	b = append(b, '"')

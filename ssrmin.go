@@ -225,8 +225,17 @@ func (c *options) seedOr(def int64) int64 {
 	return def
 }
 
-// WithK sets the counter space (default n+1).
-func WithK(k int) Option { return optionFunc(func(c *options) { c.k = k }) }
+// WithK sets the counter space (default n+1). WithK(0) keeps the
+// default, mirroring the zero-field semantics of the legacy
+// MPOptions/LiveOptions structs; any other K ≤ n panics in the
+// constructor (the algorithm requires K > n).
+func WithK(k int) Option {
+	return optionFunc(func(c *options) {
+		if k != 0 {
+			c.k = k
+		}
+	})
+}
 
 // WithDaemon installs a custom scheduler (state-reading simulation only).
 func WithDaemon(d Daemon) Option { return optionFunc(func(c *options) { c.daemon = d }) }
