@@ -4,9 +4,9 @@ GO ?= go
 
 .PHONY: all build test test-race test-race-core test-short cover bench \
         bench-check bench-obs experiments experiments-quick modelcheck \
-        modelcheck-n5 examples fmt vet lint fuzz-short clean
+        modelcheck-n5 examples fmt vet lint fuzz-short soak-short clean
 
-all: build vet lint test test-race-core
+all: build vet lint test test-race-core soak-short
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,22 @@ vet:
 # hygiene. Exits non-zero on any finding; see docs/LINT.md.
 lint:
 	$(GO) run ./cmd/ssrmin-lint ./...
+
+# Bounded differential soak (cmd/ssrmin-soak over internal/crosscheck):
+# seeded scenario sweeps through the state-reading, message-passing, and
+# live execution tiers with the paper invariants — census, convergence
+# bound, one-message-per-direction link rule — checked continuously.
+# Exits non-zero (and writes a shrunk repro to testdata/repros/) on any
+# violation. The deterministic tiers get the adversarial sweeps; the live
+# tier gets a short wall-clock-bound sweep on one worker.
+soak-short:
+	$(GO) run ./cmd/ssrmin-soak -seeds 12 -name soak-dup -n 4 \
+	  -dup 0.3 -jitter 0.002 -engines state,msgnet -horizon 15
+	$(GO) run ./cmd/ssrmin-soak -seeds 8 -name soak-storm -n 6 -random \
+	  -incoherent -storm -loss 0.1 -dup 0.2 -corrupt 0.05 \
+	  -engines state,msgnet -horizon 40 -settle 15
+	$(GO) run ./cmd/ssrmin-soak -seeds 3 -name soak-live -engines live \
+	  -horizon 5 -workers 1
 
 # A quick pass over every native fuzz target (corpus + a few seconds of
 # mutation each); the committed seed corpora always run as plain tests.

@@ -1,0 +1,629 @@
+// Package crosscheck is a differential conformance harness: it executes
+// one seeded scenario through every execution tier of the repository —
+// the state-reading simulator (internal/statemodel), the discrete-event
+// message-passing simulation (internal/cst over internal/msgnet), and the
+// live goroutine ring (internal/runtime) — and evaluates the paper's
+// invariants continuously in each:
+//
+//   - mutual inclusion: 1 ≤ #privileged ≤ 2 after convergence (Theorems
+//     1 and 3, checked via internal/verify's census);
+//   - graceful handover: no zero-token instant outside a settle window
+//     (subsumed by the lower census bound);
+//   - convergence within the bound: in the state-reading engine the
+//     settle window after a perturbation is exactly the paper's O(n²)
+//     step bound (core.ConvergenceStepBound), so a census violation past
+//     it is a convergence failure;
+//   - the link model: each communication link transmits at most one
+//     message per direction at a time, checked from the outside via the
+//     network tap (LinkMonitor), duplicates included.
+//
+// The differential part: a correct system yields the verdict "no
+// violations" in every tier. A model-gap bug — an engine more permissive
+// than the model the theorems are proved against — makes exactly one tier
+// diverge, which is how the duplicated-delivery bug in msgnet.send was
+// pinned (see testdata/repros/). On a violation the harness auto-shrinks
+// the scenario to a minimal reproduction (Shrink) and writes it as a
+// regression fixture that go test replays forever.
+package crosscheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/cst"
+	"ssrmin/internal/daemon"
+	"ssrmin/internal/fault"
+	"ssrmin/internal/msgnet"
+	"ssrmin/internal/obs"
+	"ssrmin/internal/runtime"
+	"ssrmin/internal/scenario"
+	"ssrmin/internal/statemodel"
+	"ssrmin/internal/verify"
+)
+
+// Engine names accepted in Scenario.Engines.
+const (
+	// EngineState is the state-reading simulator (internal/statemodel);
+	// its time axis is the daemon step index.
+	EngineState = "state"
+	// EngineMsgnet is the discrete-event message-passing simulation
+	// (internal/cst over internal/msgnet); its time axis is simulated
+	// seconds.
+	EngineMsgnet = "msgnet"
+	// EngineLive is the goroutine-per-node runtime (internal/runtime);
+	// its time axis is wall-clock seconds divided by LiveScale, i.e. the
+	// same simulated-seconds axis as EngineMsgnet.
+	EngineLive = "live"
+)
+
+// AllEngines lists every execution tier, in checking order.
+var AllEngines = []string{EngineState, EngineMsgnet, EngineLive}
+
+// Scenario is one seeded cross-engine experiment. The zero value is not
+// runnable; Validate fills defaults.
+type Scenario struct {
+	// Name labels the scenario in reports and repro fixtures.
+	Name string `json:"name"`
+	// N is the ring size (≥ 3); K the Dijkstra counter space (default N+1).
+	N int `json:"n"`
+	K int `json:"k,omitempty"`
+	// Seed fixes all randomness in every engine.
+	Seed int64 `json:"seed"`
+	// Horizon is the simulated duration in seconds (msgnet and, scaled by
+	// LiveScale, live).
+	Horizon float64 `json:"horizon"`
+	// Steps is the state-reading engine's transition budget; the default
+	// is twice the paper's convergence bound.
+	Steps int `json:"steps,omitempty"`
+	// Daemon schedules the state-reading engine: "central-random"
+	// (default), "synchronous", or "distributed".
+	Daemon string `json:"daemon,omitempty"`
+	// Link configures every ring link of the message-passing engines.
+	// Dup and Corrupt apply to msgnet only (Go channels neither duplicate
+	// nor corrupt); Loss applies to msgnet and live. Every corrupted frame
+	// counts as a transient fault and opens a Settle window — under
+	// continuous corruption the census invariant is only required to hold
+	// in corruption-free stretches longer than Settle.
+	Link scenario.Link `json:"link"`
+	// Refresh is the CST announcement period (default 5×delay).
+	Refresh float64 `json:"refresh,omitempty"`
+	// RandomStart draws an arbitrary initial configuration from the seed;
+	// all engines start from the same configuration.
+	RandomStart bool `json:"randomStart,omitempty"`
+	// IncoherentCaches seeds neighbor caches with random states (msgnet
+	// and live engines).
+	IncoherentCaches bool `json:"incoherentCaches,omitempty"`
+	// Settle is the census grace window, in simulated seconds, after t=0
+	// (when the start is perturbed) and after every fault. Default
+	// Horizon/2. The state engine uses the paper's step bound instead.
+	Settle float64 `json:"settle,omitempty"`
+	// Faults is the timed fault script (internal/scenario vocabulary).
+	// "states" applies to every engine; "caches", "cut", "heal",
+	// "loss-on" and "loss-off" apply to msgnet only.
+	Faults []scenario.Fault `json:"faults,omitempty"`
+	// Engines selects the tiers to run (default all three).
+	Engines []string `json:"engines,omitempty"`
+	// LiveScale converts simulated seconds to wall-clock seconds for the
+	// live engine (default 0.01: a 10 s horizon runs for 100 ms).
+	LiveScale float64 `json:"liveScale,omitempty"`
+}
+
+// Validate checks the scenario and fills defaults in place.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("crosscheck: missing scenario name")
+	}
+	if s.N < 3 {
+		return fmt.Errorf("crosscheck %q: n = %d too small for SSRmin", s.Name, s.N)
+	}
+	if s.K == 0 {
+		s.K = s.N + 1
+	}
+	if s.K <= s.N {
+		return fmt.Errorf("crosscheck %q: K = %d must exceed n = %d", s.Name, s.K, s.N)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("crosscheck %q: horizon must be positive", s.Name)
+	}
+	if s.Steps == 0 {
+		s.Steps = 2 * core.New(s.N, s.K).ConvergenceStepBound()
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("crosscheck %q: steps must be positive", s.Name)
+	}
+	switch s.Daemon {
+	case "":
+		s.Daemon = "central-random"
+	case "central-random", "synchronous", "distributed":
+	default:
+		return fmt.Errorf("crosscheck %q: unknown daemon %q", s.Name, s.Daemon)
+	}
+	if s.Link.Delay == 0 {
+		s.Link.Delay = 0.01
+	}
+	if s.Refresh == 0 {
+		s.Refresh = 5 * s.Link.Delay
+	}
+	for _, p := range []float64{s.Link.Loss, s.Link.Dup, s.Link.Corrupt} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("crosscheck %q: probability %v out of range", s.Name, p)
+		}
+	}
+	if s.Settle == 0 {
+		s.Settle = s.Horizon / 2
+	}
+	if s.Settle < 0 || s.Settle > s.Horizon {
+		return fmt.Errorf("crosscheck %q: settle %v outside (0, horizon]", s.Name, s.Settle)
+	}
+	if s.LiveScale == 0 {
+		s.LiveScale = 0.01
+	}
+	if s.LiveScale < 0 {
+		return fmt.Errorf("crosscheck %q: liveScale must be positive", s.Name)
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = append([]string(nil), AllEngines...)
+	}
+	for _, e := range s.Engines {
+		switch e {
+		case EngineState, EngineMsgnet, EngineLive:
+		default:
+			return fmt.Errorf("crosscheck %q: unknown engine %q", s.Name, e)
+		}
+	}
+	for i, f := range s.Faults {
+		switch f.Type {
+		case "states", "caches":
+			if f.Count <= 0 {
+				return fmt.Errorf("crosscheck %q: fault %d needs a positive count", s.Name, i)
+			}
+		case "cut", "heal":
+			if f.Link < 0 || f.Link >= s.N {
+				return fmt.Errorf("crosscheck %q: fault %d link %d out of range", s.Name, i, f.Link)
+			}
+		case "loss-on", "loss-off":
+		default:
+			return fmt.Errorf("crosscheck %q: fault %d has unknown type %q", s.Name, i, f.Type)
+		}
+		if f.At < 0 || f.At > s.Horizon {
+			return fmt.Errorf("crosscheck %q: fault %d at %v outside horizon", s.Name, i, f.At)
+		}
+	}
+	return nil
+}
+
+// sortedFaults returns the fault script in injection order.
+func (s Scenario) sortedFaults() []scenario.Fault {
+	fs := append([]scenario.Fault(nil), s.Faults...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].At < fs[j].At })
+	return fs
+}
+
+// perturbedStart reports whether the initial configuration itself needs a
+// settle window.
+func (s Scenario) perturbedStart() bool { return s.RandomStart || s.IncoherentCaches }
+
+// Violation is one invariant breach in one engine.
+type Violation struct {
+	// Engine is the tier that broke the invariant.
+	Engine string `json:"engine"`
+	// Kind is "census" (token count left [1,2] after settling), "link"
+	// (one-message-per-direction rule broken), or "deadlock" (the state
+	// engine ran out of enabled moves — Lemma 4 says it never should).
+	Kind string `json:"kind"`
+	// At is the instant on the engine's native time axis.
+	At float64 `json:"at"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s/%s] t=%v: %s", v.Engine, v.Kind, v.At, v.Detail)
+}
+
+// EngineResult is one tier's verdict.
+type EngineResult struct {
+	// Engine names the tier.
+	Engine string `json:"engine"`
+	// Observations counts census observations fed to the checker.
+	Observations int `json:"observations"`
+	// MinCensus and MaxCensus are the extreme censuses over the whole run
+	// (settle windows included).
+	MinCensus int `json:"minCensus"`
+	MaxCensus int `json:"maxCensus"`
+	// LastBad is the last instant the census left [1,2] anywhere in the
+	// run, or -1; comparing it against the settle deadline is the
+	// convergence measure.
+	LastBad float64 `json:"lastBad"`
+	// RuleExecutions counts guarded-command executions in this tier.
+	RuleExecutions int64 `json:"ruleExecutions"`
+	// Violations lists every invariant breach.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// OK reports whether the tier's run satisfied every invariant.
+func (r EngineResult) OK() bool { return len(r.Violations) == 0 }
+
+// Report is the cross-engine outcome of one scenario.
+type Report struct {
+	// Scenario is the validated scenario that ran.
+	Scenario Scenario `json:"scenario"`
+	// Engines holds one verdict per executed tier, in execution order.
+	Engines []EngineResult `json:"engines"`
+}
+
+// Violations aggregates every engine's violations.
+func (r Report) Violations() []Violation {
+	var out []Violation
+	for _, e := range r.Engines {
+		out = append(out, e.Violations...)
+	}
+	return out
+}
+
+// OK reports whether every tier agreed that every invariant held.
+func (r Report) OK() bool { return len(r.Violations()) == 0 }
+
+// Diff names the tiers whose verdicts disagree with the majority outcome
+// — the differential signal. An empty string means all tiers agree; a
+// non-empty string names the divergent engines (a model-gap bug makes
+// exactly the buggy tier diverge).
+func (r Report) Diff() string {
+	var ok, bad []string
+	for _, e := range r.Engines {
+		if e.OK() {
+			ok = append(ok, e.Engine)
+		} else {
+			bad = append(bad, e.Engine)
+		}
+	}
+	if len(ok) == 0 || len(bad) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("engines %v violate invariants that engines %v preserve", bad, ok)
+}
+
+// Run validates sc and executes it through every selected engine.
+func Run(sc Scenario) (Report, error) { return RunWithObs(sc, nil) }
+
+// RunWithObs is Run with an observability hook: o (which may be shared
+// across concurrent runs — its counters are atomic) receives per-engine
+// rule/message counters and events.
+func RunWithObs(sc Scenario, o *obs.Observer) (Report, error) {
+	if err := sc.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Scenario: sc}
+	for _, e := range sc.Engines {
+		switch e {
+		case EngineState:
+			rep.Engines = append(rep.Engines, runState(sc, o))
+		case EngineMsgnet:
+			rep.Engines = append(rep.Engines, runMsgnet(sc, o))
+		case EngineLive:
+			rep.Engines = append(rep.Engines, runLive(sc, o))
+		}
+	}
+	return rep, nil
+}
+
+// initialConfig derives the shared starting configuration of all engines
+// from the scenario seed; the draw matches internal/scenario's.
+func initialConfig(sc Scenario) statemodel.Config[core.State] {
+	a := core.New(sc.N, sc.K)
+	if !sc.RandomStart {
+		return a.InitialLegitimate()
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	cfg := make(statemodel.Config[core.State], sc.N)
+	for i := range cfg {
+		cfg[i] = drawState(rng, sc.K)
+	}
+	return cfg
+}
+
+func drawState(rng *rand.Rand, k int) core.State {
+	return core.State{X: rng.Intn(k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+}
+
+func makeDaemon(sc Scenario) statemodel.Daemon {
+	switch sc.Daemon {
+	case "synchronous":
+		return daemon.Synchronous{}
+	case "distributed":
+		return daemon.NewRandomSubset(rand.New(rand.NewSource(sc.Seed+2)), 0.5)
+	default:
+		return daemon.NewCentralRandom(rand.New(rand.NewSource(sc.Seed + 2)))
+	}
+}
+
+// runState executes the scenario in the state-reading model. Faults of
+// type "states" are injected at the step index proportional to their
+// scheduled time; the settle window after a perturbation is the paper's
+// convergence bound in steps, so a census violation past it doubles as a
+// violation of the O(n²) convergence theorem.
+func runState(sc Scenario, o *obs.Observer) EngineResult {
+	alg := core.New(sc.N, sc.K)
+	cfg := initialConfig(sc)
+	d := makeDaemon(sc)
+	bound := float64(alg.ConvergenceStepBound())
+	chk := newCensusChecker(EngineState, bound)
+	if sc.perturbedStart() {
+		chk.perturb(0)
+	}
+	inj := fault.NewInjector(sc.Seed + 1)
+
+	res := EngineResult{Engine: EngineState}
+	globalStep := 0
+	chk.observe(0, verify.Count(cfg).Privileged)
+
+	runTo := func(target int) {
+		if target <= globalStep {
+			return
+		}
+		sim := statemodel.NewSimulator[core.State](alg, d, cfg)
+		if o != nil {
+			sim.Obs = o
+		}
+		base := globalStep
+		sim.OnStep = func(step int, moves []statemodel.Move, c statemodel.Config[core.State]) {
+			res.RuleExecutions += int64(len(moves))
+			chk.observe(float64(base+step), verify.Count(c).Privileged)
+		}
+		done := sim.Run(target - globalStep)
+		globalStep += done
+		cfg = sim.Config()
+		if done < target-base {
+			res.Violations = append(res.Violations, Violation{
+				Engine: EngineState, Kind: "deadlock", At: float64(globalStep),
+				Detail: fmt.Sprintf("no enabled process after %d steps (Lemma 4 violated)", globalStep),
+			})
+		}
+	}
+
+	for _, f := range sc.sortedFaults() {
+		if f.Type != "states" {
+			continue
+		}
+		step := int(f.At / sc.Horizon * float64(sc.Steps))
+		runTo(step)
+		fault.CorruptConfig[core.State](inj, cfg, f.Count, func(r *rand.Rand) core.State {
+			return drawState(r, sc.K)
+		})
+		chk.perturb(float64(globalStep))
+		chk.observe(float64(globalStep), verify.Count(cfg).Privileged)
+	}
+	runTo(sc.Steps)
+
+	chk.finish(&res)
+	return res
+}
+
+// runMsgnet executes the scenario as a CST ring over the discrete-event
+// network, with the census observed after every event and the link model
+// checked from the outside by a LinkMonitor on the network tap.
+func runMsgnet(sc Scenario, o *obs.Observer) EngineResult {
+	alg := core.New(sc.N, sc.K)
+	init := initialConfig(sc)
+	draw := func(r *rand.Rand) core.State { return drawState(r, sc.K) }
+	ring := cst.NewRing[core.State](alg, init, cst.Options[core.State]{
+		Link: msgnet.LinkParams{
+			Delay:       msgnet.Time(sc.Link.Delay),
+			Jitter:      msgnet.Time(sc.Link.Jitter),
+			LossProb:    sc.Link.Loss,
+			DupProb:     sc.Link.Dup,
+			CorruptProb: sc.Link.Corrupt,
+		},
+		Refresh:        msgnet.Time(sc.Refresh),
+		Seed:           sc.Seed,
+		CoherentCaches: !sc.IncoherentCaches,
+		RandomState:    draw,
+	})
+	if sc.Link.Corrupt > 0 {
+		ring.Net.Corrupt = func(rng *rand.Rand, payload any) any { return draw(rng) }
+	}
+	if o != nil {
+		ring.Net.Obs = o
+	}
+
+	mon := NewLinkMonitor()
+	chk := newCensusChecker(EngineMsgnet, sc.Settle)
+	if sc.perturbedStart() {
+		chk.perturb(0)
+	}
+	// A corrupted frame is a transient fault the moment it lands in a
+	// neighbor cache: self-stabilization promises recovery after faults
+	// stop, not closure while they keep arriving, so each corruption opens
+	// a settle window like any scheduled fault. The link monitor is not
+	// affected — the one-message-per-direction rule holds unconditionally.
+	ring.Net.Tap = func(e msgnet.TapEvent) {
+		if e.Kind == msgnet.TapCorrupted {
+			chk.perturb(float64(e.At))
+		}
+		mon.Tap(e)
+	}
+	ring.Net.Observer = func(now msgnet.Time) {
+		chk.observe(float64(now), ring.Census(core.HasToken))
+	}
+
+	inj := fault.NewInjector(sc.Seed + 1)
+	for _, f := range sc.sortedFaults() {
+		ring.Net.Run(msgnet.Time(f.At))
+		switch f.Type {
+		case "states":
+			fault.CorruptStates[core.State](inj, ring, f.Count, draw)
+		case "caches":
+			fault.CorruptCaches[core.State](inj, ring, f.Count, draw)
+		case "cut":
+			ring.Net.SetLinkUp(f.Link, (f.Link+1)%sc.N, false)
+			ring.Net.SetLinkUp((f.Link+1)%sc.N, f.Link, false)
+		case "heal":
+			ring.Net.SetLinkUp(f.Link, (f.Link+1)%sc.N, true)
+			ring.Net.SetLinkUp((f.Link+1)%sc.N, f.Link, true)
+		case "loss-on":
+			ring.Net.LossEnabled = true
+		case "loss-off":
+			ring.Net.LossEnabled = false
+		}
+		chk.perturb(f.At)
+	}
+	ring.Net.Run(msgnet.Time(sc.Horizon))
+
+	res := EngineResult{Engine: EngineMsgnet, RuleExecutions: int64(ring.RuleExecutions())}
+	res.Violations = append(res.Violations, mon.Finish()...)
+	chk.finish(&res)
+	return res
+}
+
+// runLive executes the scenario on the goroutine-per-node runtime,
+// sampling the published census and injecting "states" faults at their
+// scaled wall-clock instants. Times in the result are reported on the
+// simulated-seconds axis (wall time ÷ LiveScale).
+func runLive(sc Scenario, o *obs.Observer) EngineResult {
+	alg := core.New(sc.N, sc.K)
+	init := initialConfig(sc)
+	draw := func(r *rand.Rand) core.State { return drawState(r, sc.K) }
+	ring := runtime.NewRing[core.State](alg, init, runtime.Options[core.State]{
+		Delay:          scaled(sc.Link.Delay, sc.LiveScale),
+		Jitter:         scaled(sc.Link.Jitter, sc.LiveScale),
+		LossProb:       sc.Link.Loss,
+		Refresh:        scaled(sc.Refresh, sc.LiveScale),
+		Seed:           sc.Seed,
+		CoherentCaches: !sc.IncoherentCaches,
+		RandomState:    draw,
+	})
+	if o != nil {
+		ring.SetObserver(o, core.HasToken)
+	}
+
+	chk := newCensusChecker(EngineLive, sc.Settle)
+	if sc.perturbedStart() {
+		chk.perturb(0)
+	}
+	faults := sc.sortedFaults()
+	inj := fault.NewInjector(sc.Seed + 1)
+
+	interval := scaled(sc.Link.Delay/4, sc.LiveScale)
+	if interval < 100*time.Microsecond {
+		interval = 100 * time.Microsecond
+	}
+	total := scaled(sc.Horizon, sc.LiveScale)
+
+	ring.Start()
+	start := time.Now()
+	for {
+		elapsed := time.Since(start)
+		simNow := elapsed.Seconds() / sc.LiveScale
+		for len(faults) > 0 && faults[0].At <= simNow {
+			f := faults[0]
+			faults = faults[1:]
+			if f.Type == "states" {
+				perm := inj.Rand().Perm(sc.N)
+				count := f.Count
+				if count > sc.N {
+					count = sc.N
+				}
+				for _, node := range perm[:count] {
+					ring.Inject(node, drawState(inj.Rand(), sc.K))
+				}
+			}
+			chk.perturb(f.At)
+		}
+		chk.observe(simNow, ring.Census(core.HasToken))
+		if elapsed >= total {
+			break
+		}
+		time.Sleep(interval)
+	}
+	ring.Stop()
+
+	res := EngineResult{Engine: EngineLive, RuleExecutions: ring.RuleExecutions()}
+	chk.finish(&res)
+	return res
+}
+
+func scaled(simSeconds, scale float64) time.Duration {
+	return time.Duration(simSeconds * scale * float64(time.Second))
+}
+
+// censusChecker evaluates the census invariant over one engine's run:
+// outside the settle windows (after t=0 when the start is perturbed, and
+// after every fault) the census must stay within SSRmin's [1,2] bounds.
+type censusChecker struct {
+	engine     string
+	grace      float64
+	perturbs   []float64 // nondecreasing perturbation instants
+	bounds     verify.CSBounds
+	violations []Violation
+	truncated  int
+	observed   int
+	minC, maxC int
+	lastBad    float64
+}
+
+func newCensusChecker(engine string, grace float64) *censusChecker {
+	return &censusChecker{
+		engine:  engine,
+		grace:   grace,
+		bounds:  verify.SSRminBounds,
+		minC:    -1,
+		maxC:    -1,
+		lastBad: -1,
+	}
+}
+
+// perturb opens a settle window at instant t.
+func (c *censusChecker) perturb(t float64) { c.perturbs = append(c.perturbs, t) }
+
+// graced reports whether instant t falls inside a settle window.
+func (c *censusChecker) graced(t float64) bool {
+	for i := len(c.perturbs) - 1; i >= 0; i-- {
+		if c.perturbs[i] <= t {
+			return t-c.perturbs[i] < c.grace
+		}
+	}
+	return false
+}
+
+func (c *censusChecker) observe(t float64, census int) {
+	c.observed++
+	if c.minC == -1 || census < c.minC {
+		c.minC = census
+	}
+	if census > c.maxC {
+		c.maxC = census
+	}
+	if c.bounds.Check(census) {
+		return
+	}
+	c.lastBad = t
+	if c.graced(t) {
+		return
+	}
+	if len(c.violations) >= maxViolations {
+		c.truncated++
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Engine: c.engine, Kind: "census", At: t,
+		Detail: fmt.Sprintf("%d privileged processes, outside %v (settled)", census, c.bounds),
+	})
+}
+
+// finish folds the checker's outcome into res.
+func (c *censusChecker) finish(res *EngineResult) {
+	res.Observations = c.observed
+	res.MinCensus = c.minC
+	res.MaxCensus = c.maxC
+	res.LastBad = c.lastBad
+	res.Violations = append(res.Violations, c.violations...)
+	if c.truncated > 0 {
+		res.Violations = append(res.Violations, Violation{
+			Engine: c.engine, Kind: "census", At: -1,
+			Detail: fmt.Sprintf("%d further census violations truncated", c.truncated),
+		})
+	}
+}

@@ -1,0 +1,200 @@
+// Scenario shrinking and regression-fixture persistence. When the soak
+// harness finds a violating scenario it greedily minimizes it — fewer
+// engines, fewer faults, a shorter horizon, fewer nodes, fewer fault
+// coins — while the violation persists, then writes the minimal repro to
+// testdata/repros/ where go test replays it forever.
+package crosscheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ssrmin/internal/scenario"
+)
+
+// Shrink greedily reduces a violating scenario to a smaller one that
+// still violates, spending at most budget re-runs (each candidate costs
+// one run). It returns the smallest violating scenario found and the
+// number of runs spent. sc must already be a violating scenario; if it is
+// not, Shrink returns it unchanged.
+func Shrink(sc Scenario, budget int) (Scenario, int) {
+	if err := sc.Validate(); err != nil {
+		return sc, 0
+	}
+	spent := 0
+	fails := func(c Scenario) bool {
+		if spent >= budget {
+			return false
+		}
+		spent++
+		rep, err := Run(c)
+		return err == nil && !rep.OK()
+	}
+	if !fails(sc) {
+		return sc, spent
+	}
+
+	// Keep only the engines that actually violate: re-running the clean
+	// tiers adds nothing to the repro.
+	if rep, err := Run(sc); err == nil {
+		var bad []string
+		for _, e := range rep.Engines {
+			if !e.OK() {
+				bad = append(bad, e.Engine)
+			}
+		}
+		if len(bad) > 0 && len(bad) < len(sc.Engines) {
+			cand := sc
+			cand.Engines = bad
+			if fails(cand) {
+				sc = cand
+			}
+		}
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		try := func(mut func(*Scenario)) {
+			cand := sc
+			cand.Faults = cloneFaults(sc.Faults)
+			cand.Engines = append([]string(nil), sc.Engines...)
+			mut(&cand)
+			if cand.Validate() == nil && fails(cand) {
+				sc = cand
+				improved = true
+			}
+		}
+		for i := len(sc.Faults) - 1; i >= 0; i-- {
+			i := i
+			try(func(c *Scenario) { c.Faults = append(c.Faults[:i], c.Faults[i+1:]...) })
+		}
+		try(func(c *Scenario) {
+			c.Horizon /= 2
+			c.Settle /= 2
+			c.Steps /= 2
+			c.Faults = dropLateFaults(c.Faults, c.Horizon)
+		})
+		try(func(c *Scenario) {
+			c.N--
+			if c.K <= c.N {
+				c.K = c.N + 1
+			}
+			c.Faults = clampFaultLinks(c.Faults, c.N)
+			c.Steps = 0 // re-derive from the smaller ring's bound
+		})
+		try(func(c *Scenario) { c.Link.Loss = 0 })
+		try(func(c *Scenario) { c.Link.Corrupt = 0 })
+		try(func(c *Scenario) { c.Link.Dup = 0 })
+		try(func(c *Scenario) { c.Link.Jitter = 0 })
+		if !improved || spent >= budget {
+			break
+		}
+	}
+	return sc, spent
+}
+
+func cloneFaults(fs []scenario.Fault) []scenario.Fault { return append([]scenario.Fault(nil), fs...) }
+
+func dropLateFaults(fs []scenario.Fault, horizon float64) []scenario.Fault {
+	var out []scenario.Fault
+	for _, f := range fs {
+		if f.At <= horizon {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func clampFaultLinks(fs []scenario.Fault, n int) []scenario.Fault {
+	var out []scenario.Fault
+	for _, f := range fs {
+		if (f.Type == "cut" || f.Type == "heal") && f.Link >= n {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Repro is a persisted regression fixture: a scenario that once violated
+// an invariant, plus its provenance. After the fix, replaying the
+// scenario must be clean, which TestReproFixturesStayFixed asserts.
+type Repro struct {
+	// Note describes the bug the scenario caught.
+	Note string `json:"note"`
+	// Found records how the scenario was discovered (tool, sweep).
+	Found string `json:"found,omitempty"`
+	// Scenario is the (usually shrunk) violating scenario.
+	Scenario Scenario `json:"scenario"`
+}
+
+// WriteRepro persists r under dir as <name>-seed<seed>.json and returns
+// the path. An existing fixture of the same name is overwritten.
+func WriteRepro(dir string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("crosscheck: repro dir: %w", err)
+	}
+	name := fmt.Sprintf("%s-seed%d.json", sanitize(r.Scenario.Name), r.Scenario.Seed)
+	path := filepath.Join(dir, name)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return "", fmt.Errorf("crosscheck: encode repro: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", fmt.Errorf("crosscheck: write repro: %w", err)
+	}
+	return path, nil
+}
+
+// LoadRepros reads every *.json fixture under dir, in name order.
+// Decoding is strict: an unknown field in a fixture is an error, not a
+// silently ignored key.
+func LoadRepros(dir string) ([]Repro, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crosscheck: repro dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Repro
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("crosscheck: read repro %s: %w", name, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var r Repro
+		if err := dec.Decode(&r); err != nil {
+			return nil, fmt.Errorf("crosscheck: repro %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+}

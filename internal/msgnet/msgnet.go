@@ -33,7 +33,10 @@ type LinkParams struct {
 	// LossProb is the probability that a message is lost in transit.
 	LossProb float64
 	// DupProb is the probability that a message is delivered twice (the
-	// duplicate arrives after an extra jitter draw).
+	// duplicate arrives after an extra jitter draw). A duplicate is the
+	// same frame echoing on the medium, so it keeps the link busy until
+	// its own arrival: the one-message-per-direction rule applies to the
+	// duplicate too.
 	DupProb float64
 	// CorruptProb is the probability that a message is delivered with a
 	// corrupted payload, produced by the network's Corrupt hook. Without a
@@ -148,6 +151,10 @@ const (
 	TapDeliver
 	// TapTimer: a timer fired at Node.
 	TapTimer
+	// TapDup: the duplication coin scheduled a second delivery of the
+	// frame just sent (From -> Node). Emitted at send time; the duplicate's
+	// arrival is a plain TapDeliver.
+	TapDup
 )
 
 // String returns a short mnemonic.
@@ -165,6 +172,8 @@ func (k TapKind) String() string {
 		return "deliver"
 	case TapTimer:
 		return "timer"
+	case TapDup:
+		return "dup"
 	}
 	return "unknown"
 }
@@ -193,7 +202,10 @@ type Stats struct {
 	Suppressed int
 	// Lost counts messages eaten by the loss coin.
 	Lost int
-	// Duplicated counts extra deliveries from the duplication coin.
+	// Duplicated counts extra deliveries scheduled by the duplication
+	// coin. A duplicate occupies its link until it arrives, so sends
+	// attempted in that window count under Suppressed, exactly as for an
+	// ordinary in-flight message.
 	Duplicated int
 	// Corrupted counts messages hit by the corruption coin.
 	Corrupted int
@@ -325,6 +337,11 @@ func (n *Network) send(from, to int, payload any) bool {
 		}
 		return false
 	}
+	// RNG draw order per admitted send attempt is part of the seeded-trace
+	// contract (TestSeededCoinDrawOrderPinned): loss coin, corruption coin,
+	// arrival jitter, duplication coin, duplicate-arrival jitter. Coins
+	// whose probability is zero draw nothing. Reordering these draws
+	// silently shifts every seeded trace downstream.
 	if n.LossEnabled && l.params.LossProb > 0 && n.rng.Float64() < l.params.LossProb {
 		// The message occupies the link for its nominal flight time even
 		// though it will never arrive (the medium was busy transmitting
@@ -360,8 +377,15 @@ func (n *Network) send(from, to int, payload any) bool {
 		o.MsgSent(float64(n.now), from, to)
 	}
 	if l.params.DupProb > 0 && n.rng.Float64() < l.params.DupProb {
-		n.push(&event{at: at + n.jitter(l), kind: evDeliver, node: to, from: from, load: payload})
+		// The duplicate is the same frame echoing on the medium, so it
+		// occupies the link until its own (later) arrival — Section 5's
+		// one-message-per-direction rule, which the graceful-handover
+		// argument's back-pressure depends on.
+		dupAt := at + n.jitter(l)
+		l.busyUntil = dupAt
+		n.push(&event{at: dupAt, kind: evDeliver, node: to, from: from, load: payload})
 		n.stats.Duplicated++
+		n.tap(TapEvent{At: n.now, Kind: TapDup, Node: to, From: from})
 	}
 	return true
 }

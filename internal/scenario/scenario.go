@@ -6,6 +6,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -102,18 +103,35 @@ type Result struct {
 }
 
 // Load parses a JSON document containing either one scenario object or an
-// array of them.
+// array of them. Decoding is strict: an unknown field — usually a
+// misspelled knob like "horizn" — is an error, not a parameter silently
+// left at its default.
 func Load(r io.Reader) ([]Scenario, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: read: %w", err)
 	}
-	var many []Scenario
-	if err := json.Unmarshal(data, &many); err == nil {
+	// Sniff the first non-space byte to pick object vs array, so a typo in
+	// an array document reports the field error instead of "not an object".
+	isArray := false
+	for _, b := range data {
+		if b == ' ' || b == '\t' || b == '\r' || b == '\n' {
+			continue
+		}
+		isArray = b == '['
+		break
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if isArray {
+		var many []Scenario
+		if err := dec.Decode(&many); err != nil {
+			return nil, fmt.Errorf("scenario: parse: %w", err)
+		}
 		return many, nil
 	}
 	var one Scenario
-	if err := json.Unmarshal(data, &one); err != nil {
+	if err := dec.Decode(&one); err != nil {
 		return nil, fmt.Errorf("scenario: parse: %w", err)
 	}
 	return []Scenario{one}, nil

@@ -71,6 +71,19 @@ func TestLoadSingleAndArray(t *testing.T) {
 	}
 }
 
+// TestLoadRejectsUnknownFields: a misspelled knob must be a load error,
+// not an experiment silently run with the parameter at its default.
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	misspelled := `{"name":"a","n":5,"horizn":3,"link":{"delay":0.01},"seed":1}`
+	if _, err := Load(strings.NewReader(misspelled)); err == nil || !strings.Contains(err.Error(), "horizn") {
+		t.Errorf("misspelled field not rejected: %v", err)
+	}
+	nested := `[{"name":"a","n":5,"horizon":3,"link":{"dellay":0.01},"seed":1}]`
+	if _, err := Load(strings.NewReader(nested)); err == nil || !strings.Contains(err.Error(), "dellay") {
+		t.Errorf("misspelled nested field in array not rejected: %v", err)
+	}
+}
+
 func TestRunSSRminClean(t *testing.T) {
 	s := base()
 	res, err := s.Run()

@@ -83,6 +83,8 @@ func (st *SpaceTime) Render(w io.Writer) error {
 			note(e.At, e.From, fmt.Sprintf("x→%d", e.Node))
 		case msgnet.TapCorrupted:
 			note(e.At, e.From, fmt.Sprintf("!→%d", e.Node))
+		case msgnet.TapDup:
+			note(e.At, e.From, fmt.Sprintf("d→%d", e.Node))
 		case msgnet.TapTimer:
 			note(e.At, e.Node, "T")
 		case msgnet.TapSuppressed:

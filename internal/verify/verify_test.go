@@ -222,3 +222,86 @@ func TestAvailability(t *testing.T) {
 		t.Error("empty availability should be 0")
 	}
 }
+
+// TestCountMinimumRing exercises the census on the smallest ring SSRmin
+// admits (n = 3): the legitimate-configuration invariants must already
+// hold at the boundary.
+func TestCountMinimumRing(t *testing.T) {
+	a := core.New(3, 4)
+	for _, c := range a.LegitimateConfigs() {
+		tc := Count(c)
+		if tc.Primary != 1 || tc.Secondary != 1 {
+			t.Fatalf("n=3 Count(%v) = %+v, want one of each token", c, tc)
+		}
+		if !SSRminBounds.Check(tc.Privileged) {
+			t.Fatalf("n=3 census %d outside %v", tc.Privileged, SSRminBounds)
+		}
+	}
+}
+
+// TestCountBothTokensOneHolder pins the Privileged < Primary + Secondary
+// case: on X = (0,0,0) only the bottom process holds the primary token,
+// and setting its TRA flag gives it the secondary token too — one
+// privileged process holding two tokens.
+func TestCountBothTokensOneHolder(t *testing.T) {
+	c := statemodel.Config[core.State]{
+		{X: 0, TRA: true},
+		{X: 0},
+		{X: 0},
+	}
+	tc := Count(c)
+	if tc.Primary != 1 || tc.Secondary != 1 || tc.Privileged != 1 {
+		t.Fatalf("Count = %+v, want Primary=1 Secondary=1 Privileged=1", tc)
+	}
+	if tc.Privileged >= tc.Primary+tc.Secondary {
+		t.Fatalf("Privileged %d not below Primary+Secondary %d for a double holder",
+			tc.Privileged, tc.Primary+tc.Secondary)
+	}
+}
+
+// TestTimelineEmpty pins the zero-observation edge case: a timeline closed
+// without a single record must report an empty window, not panic or
+// fabricate counts.
+func TestTimelineEmpty(t *testing.T) {
+	var tl Timeline
+	tl.Close(0)
+	if got := tl.Span(); got != 0 {
+		t.Errorf("Span = %v, want 0", got)
+	}
+	if got := tl.MinCount(); got != -1 {
+		t.Errorf("MinCount = %d, want -1", got)
+	}
+	if got := tl.MaxCount(); got != -1 {
+		t.Errorf("MaxCount = %d, want -1", got)
+	}
+	if got := tl.Counts(); len(got) != 0 {
+		t.Errorf("Counts = %v, want empty", got)
+	}
+	if got := tl.Duration(1); got != 0 {
+		t.Errorf("Duration(1) = %v, want 0", got)
+	}
+	if got := tl.Fraction(1); got != 0 {
+		t.Errorf("Fraction(1) = %v, want 0", got)
+	}
+}
+
+// TestTimelineZeroLengthWindow: records exist but the window has zero
+// extent (Close at the only record's instant) — every occupancy is a
+// zero-length excursion.
+func TestTimelineZeroLengthWindow(t *testing.T) {
+	var tl Timeline
+	tl.Record(3, 2)
+	tl.Close(3)
+	if got := tl.Span(); got != 0 {
+		t.Errorf("Span = %v, want 0", got)
+	}
+	if got := tl.MinCount(); got != -1 {
+		t.Errorf("MinCount = %d, want -1 (zero-length excursion)", got)
+	}
+	if got := tl.Counts(); len(got) != 0 {
+		t.Errorf("Counts = %v, want empty", got)
+	}
+	if got := tl.Fraction(2); got != 0 {
+		t.Errorf("Fraction(2) = %v, want 0", got)
+	}
+}
