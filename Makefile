@@ -3,8 +3,9 @@
 GO ?= go
 
 .PHONY: all build test test-race test-race-core test-short cover bench \
-        bench-check bench-obs experiments experiments-quick modelcheck \
-        modelcheck-n5 examples fmt vet lint fuzz-short soak-short clean
+        bench-check bench-obs bench-msgnet bench-smoke experiments \
+        experiments-quick modelcheck modelcheck-n5 examples fmt vet lint \
+        fuzz-short soak-short clean
 
 all: build vet lint test test-race-core soak-short
 
@@ -46,6 +47,26 @@ bench-check:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchmem . \
 	  | $(GO) run ./cmd/benchjson -o BENCH_obs.json
+
+# Record the event-engine rebuild: legacy boxed heap vs zero-alloc arena
+# under an n-node lossy/duplicating storm, in BENCH_msgnet.json. The
+# acceptance bar for the arena at n=32 is >= 5x fewer allocs/op and
+# >= 2x events/s against the legacy rows.
+bench-msgnet:
+	$(GO) test -run '^$$' -bench 'MsgnetStorm' -benchmem -count 3 . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_msgnet.json
+
+# CI guard against silent perf rot: re-run the tracked benchmarks
+# briefly (-benchtime 20x keeps the whole sweep under a second) and
+# compare ns/op against the committed records. Shared-runner noise is
+# huge at this length, so the threshold is deliberately generous — this
+# catches order-of-magnitude rot (a debug print, an accidental O(n^2)),
+# not percent drift.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'MsgnetStorm' -benchmem -benchtime 20x . \
+	  | $(GO) run ./cmd/benchjson -o /tmp/bench_msgnet_smoke.json
+	$(GO) run ./cmd/benchjson -compare -max-regress 400 \
+	  BENCH_msgnet.json /tmp/bench_msgnet_smoke.json
 
 # Regenerate every paper artifact + extension ablations (see EXPERIMENTS.md).
 experiments:

@@ -242,7 +242,7 @@ func runCorruption(cfg runConfig) {
 			Seed:           cfg.seed,
 			CoherentCaches: true,
 		})
-		r.Net.Corrupt = func(rng *rand.Rand, payload any) any {
+		r.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State {
 			return core.State{X: rng.Intn(6), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
 		}
 		var tl verify.Timeline
@@ -326,13 +326,20 @@ func runOutage(cfg runConfig) {
 	if cfg.quick {
 		seeds = seeds[:3]
 	}
-	for _, seed := range seeds {
+	// Independent seeded outages: fan out over parsweep with the shared
+	// core.State arena pool, then print rows in seed order.
+	type row struct {
+		darkDuring, darkAfter float64
+		recovered             bool
+	}
+	rows := parsweep.MapWith(len(seeds), 0, mpArenas, func(i int, arena *msgnet.Arena[core.State]) row {
 		a := core.New(5, 6)
 		r := cst.NewRing[core.State](a, a.InitialLegitimate(), cst.Options[core.State]{
 			Link:           msgnet.LinkParams{Delay: mpDelay, Jitter: mpJitter},
 			Refresh:        mpRefresh,
-			Seed:           seed,
+			Seed:           seeds[i],
 			CoherentCaches: true,
+			Arena:          arena,
 		})
 		r.Net.Run(1)
 		r.Net.SetLinkUp(1, 2, false)
@@ -360,7 +367,10 @@ func runOutage(cfg runConfig) {
 		}
 		r.Net.Run(settle + 10)
 		after.Close(float64(r.Net.Now()))
-		tb.AddRow(seed, during.Duration(0), after.Duration(0), recovered)
+		return row{darkDuring: during.Duration(0), darkAfter: after.Duration(0), recovered: recovered}
+	})
+	for i, rw := range rows {
+		tb.AddRow(seeds[i], rw.darkDuring, rw.darkAfter, rw.recovered)
 	}
 	printTable(tb)
 	fmt.Println("\nA permanent duplex cut exceeds the paper's fault model (which requires")

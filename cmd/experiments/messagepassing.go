@@ -10,6 +10,7 @@ import (
 	"ssrmin/internal/dijkstra"
 	"ssrmin/internal/fault"
 	"ssrmin/internal/msgnet"
+	"ssrmin/internal/parsweep"
 	"ssrmin/internal/statemodel"
 	"ssrmin/internal/trace"
 	"ssrmin/internal/verify"
@@ -30,6 +31,12 @@ const (
 	mpJitter  = 0.002
 	mpRefresh = 0.05
 )
+
+// mpArenas hands each sweep worker a reusable event arena for the
+// core.State rings; consecutive experiments recycle the same arenas
+// (reset-not-reallocate), shared by every parallel sweep in this
+// command that simulates SSRmin rings.
+var mpArenas = parsweep.NewPool(msgnet.NewArena[core.State])
 
 func runFig2(cfg runConfig) {
 	// Trace one full handover in the message-passing model, logging every
@@ -56,7 +63,7 @@ func runFig2(cfg runConfig) {
 		}
 	}
 	st := trace.NewSpaceTime(a.N())
-	st.Attach(r.Net)
+	trace.Attach(st, r.Net)
 	for i, nd := range r.Nodes {
 		id := i
 		prev := nd.OnExecute
@@ -131,13 +138,21 @@ func runFig12(cfg runConfig) {
 	if cfg.quick {
 		seeds = seeds[:2]
 	}
-	for _, seed := range seeds {
+	// Each seed is an independent simulation, so the sweep fans out over
+	// parsweep with one reusable event arena per worker; rows come back
+	// in seed order, so the table is identical to the sequential run.
+	pool := parsweep.NewPool(msgnet.NewArena[dijkstra.PairState])
+	type row struct {
+		tl verify.Timeline
+	}
+	rows := parsweep.MapWith(len(seeds), 0, pool, func(i int, arena *msgnet.Arena[dijkstra.PairState]) row {
 		r := cst.NewRing[dijkstra.PairState](p, init, cst.Options[dijkstra.PairState]{
 			Link:           msgnet.LinkParams{Delay: mpDelay, Jitter: 0.005},
 			Refresh:        mpRefresh,
 			Hold:           0.02,
-			Seed:           seed,
+			Seed:           seeds[i],
 			CoherentCaches: true,
+			Arena:          arena,
 		})
 		var tl verify.Timeline
 		r.Net.Observer = func(now msgnet.Time) {
@@ -145,7 +160,11 @@ func runFig12(cfg runConfig) {
 		}
 		r.Net.Run(30)
 		tl.Close(float64(r.Net.Now()))
-		tb.AddRow(seed, pct(tl.Fraction(0)), pct(tl.Fraction(1)), pct(tl.Fraction(2)), tl.MinCount())
+		return row{tl: tl}
+	})
+	for i, rw := range rows {
+		tl := rw.tl
+		tb.AddRow(seeds[i], pct(tl.Fraction(0)), pct(tl.Fraction(1)), pct(tl.Fraction(2)), tl.MinCount())
 	}
 	printTable(tb)
 	fmt.Println("\nEven two concurrent, independent token rings reach instants where both")
@@ -159,27 +178,48 @@ func runFig13(cfg runConfig) {
 	if cfg.quick {
 		seeds = seeds[:3]
 	}
+	// Flatten the loss × seed grid into independent trials and fan out
+	// over parsweep with worker-scoped arenas; results return in trial
+	// order, so the printed table matches the sequential nesting.
+	type trial struct {
+		loss float64
+		seed int64
+	}
+	var trials []trial
 	for _, loss := range []float64{0, 0.1} {
 		for _, seed := range seeds {
-			a := core.New(5, 6)
-			r := cst.NewRing[core.State](a, a.InitialLegitimate(), cst.Options[core.State]{
-				Link:           msgnet.LinkParams{Delay: mpDelay, Jitter: mpJitter, LossProb: loss},
-				Refresh:        mpRefresh,
-				Hold:           0.02,
-				Seed:           seed,
-				CoherentCaches: true,
-			})
-			var tl verify.Timeline
-			mon := verify.Monitor{Bounds: verify.SSRminBounds}
-			r.Net.Observer = func(now msgnet.Time) {
-				c := r.Census(core.HasToken)
-				tl.Record(float64(now), c)
-				mon.Observe(float64(now), c)
-			}
-			r.Net.Run(30)
-			tl.Close(float64(r.Net.Now()))
-			tb.AddRow(seed, loss, 0.02, pct(tl.Fraction(0)), pct(tl.Fraction(1)), pct(tl.Fraction(2)), len(mon.Violations))
+			trials = append(trials, trial{loss: loss, seed: seed})
 		}
+	}
+	type row struct {
+		tl         verify.Timeline
+		violations int
+	}
+	rows := parsweep.MapWith(len(trials), 0, mpArenas, func(i int, arena *msgnet.Arena[core.State]) row {
+		tr := trials[i]
+		a := core.New(5, 6)
+		r := cst.NewRing[core.State](a, a.InitialLegitimate(), cst.Options[core.State]{
+			Link:           msgnet.LinkParams{Delay: mpDelay, Jitter: mpJitter, LossProb: tr.loss},
+			Refresh:        mpRefresh,
+			Hold:           0.02,
+			Seed:           tr.seed,
+			CoherentCaches: true,
+			Arena:          arena,
+		})
+		var tl verify.Timeline
+		mon := verify.Monitor{Bounds: verify.SSRminBounds}
+		r.Net.Observer = func(now msgnet.Time) {
+			c := r.Census(core.HasToken)
+			tl.Record(float64(now), c)
+			mon.Observe(float64(now), c)
+		}
+		r.Net.Run(30)
+		tl.Close(float64(r.Net.Now()))
+		return row{tl: tl, violations: len(mon.Violations)}
+	})
+	for i, rw := range rows {
+		tr, tl := trials[i], rw.tl
+		tb.AddRow(tr.seed, tr.loss, 0.02, pct(tl.Fraction(0)), pct(tl.Fraction(1)), pct(tl.Fraction(2)), rw.violations)
 	}
 	printTable(tb)
 	fmt.Println("\nSSRmin through the same transform: the census NEVER leaves {1, 2} —")

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"ssrmin/internal/check"
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/core"
 	"ssrmin/internal/dijkstra"
 	"ssrmin/internal/inclusion"
@@ -45,7 +46,13 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers for all engine scans (0 = GOMAXPROCS)")
 		legacy  = flag.Bool("legacy", false, "use the legacy Decode/Encode checker instead of the compiled engine")
 	)
+	var prof cliconf.Profile
+	prof.Bind(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	parallelWorkers = *workers
 	if *k == 0 {
 		*k = *n + 1
@@ -66,8 +73,13 @@ func main() {
 			ok = checkSSToken(*n, *k, *maxConf, *workers)
 		}
 	default:
+		prof.Stop()
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algF)
 		os.Exit(2)
+	}
+	// os.Exit skips deferred calls: flush the profiles before gating CI.
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 	if !ok {
 		os.Exit(1)

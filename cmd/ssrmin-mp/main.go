@@ -32,6 +32,8 @@ func main() {
 	var cc cliconf.Config
 	cc.BindRing(flag.CommandLine, 5)
 	cc.BindRandom(flag.CommandLine, 1)
+	var prof cliconf.Profile
+	prof.Bind(flag.CommandLine)
 	var (
 		scenarioF = flag.String("scenario", "", "run a JSON scenario file instead of flags (see scenarios/)")
 
@@ -45,6 +47,13 @@ func main() {
 		events  = flag.String("events", "", "write a JSONL observability event log to this file")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// runSSRmin/runScenarioFile exit directly on errors; flush the
+	// profiles first so a failed run still leaves readable output.
+	defer stopProfile(&prof)
 	if *scenarioF != "" {
 		runScenarioFile(*scenarioF)
 		return
@@ -59,6 +68,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algF)
 		os.Exit(2)
+	}
+}
+
+func stopProfile(p *cliconf.Profile) {
+	if err := p.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"ssrmin/internal/cliconf"
 	"ssrmin/internal/crosscheck"
 	"ssrmin/internal/obs"
 	"ssrmin/internal/parsweep"
@@ -61,9 +62,20 @@ func run(args []string, out, errw *os.File) int {
 		reproDir   = fs.String("repro-dir", "testdata/repros", "directory for repro fixtures")
 		verbose    = fs.Bool("v", false, "print one line per seed")
 	)
+	var prof cliconf.Profile
+	prof.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(errw, err)
+		}
+	}()
 
 	base := crosscheck.Scenario{
 		Name:             *name,
@@ -105,11 +117,15 @@ func run(args []string, out, errw *os.File) int {
 		err error
 	}
 	o := obs.New(nil)
-	results := parsweep.Map(*seeds, *workers, func(i int) trial {
+	// Each worker owns one crosscheck.Resources (its event arena) for the
+	// whole sweep: trials reset-not-reallocate, so a long soak's
+	// steady-state allocation stays near zero regardless of seed count.
+	pool := parsweep.NewPool(crosscheck.NewResources)
+	results := parsweep.MapWith(*seeds, *workers, pool, func(i int, res *crosscheck.Resources) trial {
 		sc := base
 		sc.Seed = *baseSeed + int64(i)
 		sc.Name = fmt.Sprintf("%s-seed%d", *name, sc.Seed)
-		rep, err := crosscheck.RunWithObs(sc, o)
+		rep, err := crosscheck.RunWithRes(sc, o, res)
 		return trial{rep: rep, err: err}
 	})
 

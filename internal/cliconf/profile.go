@@ -1,0 +1,99 @@
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile is the shared profiling flag set of the CLIs: -cpuprofile,
+// -memprofile and -traceprofile, each naming an output file. Bind it to
+// a FlagSet, call Start after parsing and defer Stop; see the README's
+// "Profiling" note for reading the outputs with `go tool pprof` /
+// `go tool trace`.
+type Profile struct {
+	// CPU, Mem and Trace are the output paths ("" disables each).
+	CPU, Mem, Trace string
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Bind registers the profiling flags on fs.
+func (p *Profile) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to `file` (go tool pprof)")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to `file` on exit (go tool pprof)")
+	fs.StringVar(&p.Trace, "traceprofile", "", "write a runtime execution trace to `file` (go tool trace)")
+}
+
+// Start begins CPU profiling and execution tracing as requested. On
+// error, anything already started is stopped.
+func (p *Profile) Start() error {
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.Trace != "" {
+		f, err := os.Create(p.Trace)
+		if err != nil {
+			p.Stop()
+			return fmt.Errorf("traceprofile: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return fmt.Errorf("traceprofile: %w", err)
+		}
+		p.traceFile = f
+	}
+	return nil
+}
+
+// Stop finishes every profile Start began and writes the heap profile if
+// -memprofile was given. Call it exactly once, before the process exits
+// (os.Exit skips deferred calls — run Stop first).
+func (p *Profile) Stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("traceprofile: %w", err)
+		}
+		p.traceFile = nil
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		p.Mem = "" // write at most once
+	}
+	return first
+}

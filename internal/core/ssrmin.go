@@ -146,7 +146,7 @@ func dview(v statemodel.View[State]) statemodel.View[dijkstra.State] {
 }
 
 // G evaluates the Dijkstra guard G_i — the primary-token condition — on v.
-func G(v statemodel.View[State]) bool { return dijkstra.Guard(dview(v)) }
+func G(v statemodel.View[State]) bool { return dijkstra.GuardX(v.I, v.Self.X, v.Pred.X) }
 
 // EnabledRule implements statemodel.Algorithm: it returns the smallest rule
 // of Algorithm 3 whose guard holds, or 0.

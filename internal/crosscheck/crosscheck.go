@@ -293,6 +293,32 @@ func Run(sc Scenario) (Report, error) { return RunWithObs(sc, nil) }
 // across concurrent runs — its counters are atomic) receives per-engine
 // rule/message counters and events.
 func RunWithObs(sc Scenario, o *obs.Observer) (Report, error) {
+	return RunWithRes(sc, o, nil)
+}
+
+// Resources is the reusable per-worker state of a scenario sweep: one
+// worker thread hands the same Resources to every scenario it executes,
+// so steady-state sweeps allocate next to nothing. The zero value is
+// NOT ready; use NewResources. A Resources must not be shared by
+// concurrently executing runs (parsweep.MapWith guarantees this when
+// the sweep's Pool builds them).
+type Resources struct {
+	// Arena is the message-passing engine's event arena, reset (not
+	// reallocated) for each scenario's network.
+	Arena *msgnet.Arena[core.State]
+}
+
+// NewResources builds an empty resource set; parsweep.Pool-compatible.
+func NewResources() *Resources {
+	return &Resources{Arena: msgnet.NewArena[core.State]()}
+}
+
+// RunWithRes is RunWithObs with reusable per-worker resources; res may
+// be nil, in which case each engine allocates privately (the RunWithObs
+// behaviour). Resource reuse cannot change results: the event arena is
+// reset between runs and the engines' RNG streams depend only on the
+// scenario seed — the msgnet engine differential test pins this.
+func RunWithRes(sc Scenario, o *obs.Observer, res *Resources) (Report, error) {
 	if err := sc.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -302,7 +328,7 @@ func RunWithObs(sc Scenario, o *obs.Observer) (Report, error) {
 		case EngineState:
 			rep.Engines = append(rep.Engines, runState(sc, o))
 		case EngineMsgnet:
-			rep.Engines = append(rep.Engines, runMsgnet(sc, o))
+			rep.Engines = append(rep.Engines, runMsgnet(sc, o, res))
 		case EngineLive:
 			rep.Engines = append(rep.Engines, runLive(sc, o))
 		}
@@ -405,10 +431,14 @@ func runState(sc Scenario, o *obs.Observer) EngineResult {
 // runMsgnet executes the scenario as a CST ring over the discrete-event
 // network, with the census observed after every event and the link model
 // checked from the outside by a LinkMonitor on the network tap.
-func runMsgnet(sc Scenario, o *obs.Observer) EngineResult {
+func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 	alg := core.New(sc.N, sc.K)
 	init := initialConfig(sc)
 	draw := func(r *rand.Rand) core.State { return drawState(r, sc.K) }
+	var arena *msgnet.Arena[core.State]
+	if shared != nil {
+		arena = shared.Arena
+	}
 	ring := cst.NewRing[core.State](alg, init, cst.Options[core.State]{
 		Link: msgnet.LinkParams{
 			Delay:       msgnet.Time(sc.Link.Delay),
@@ -421,9 +451,10 @@ func runMsgnet(sc Scenario, o *obs.Observer) EngineResult {
 		Seed:           sc.Seed,
 		CoherentCaches: !sc.IncoherentCaches,
 		RandomState:    draw,
+		Arena:          arena,
 	})
 	if sc.Link.Corrupt > 0 {
-		ring.Net.Corrupt = func(rng *rand.Rand, payload any) any { return draw(rng) }
+		ring.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State { return draw(rng) }
 	}
 	if o != nil {
 		ring.Net.Obs = o

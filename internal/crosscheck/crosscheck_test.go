@@ -168,10 +168,10 @@ func TestLinkMonitorConfirmsGhostFrame(t *testing.T) {
 	ev := func(k msgnet.TapKind, at msgnet.Time) msgnet.TapEvent {
 		return msgnet.TapEvent{At: at, Kind: k, From: 0, Node: 1}
 	}
-	m.Tap(ev(msgnet.TapSend, 0))    // frame 1 admitted
-	m.Tap(ev(msgnet.TapDup, 0))     // duplicate of frame 1 scheduled
-	m.Tap(ev(msgnet.TapDeliver, 1)) // frame 1 arrives
-	m.Tap(ev(msgnet.TapSend, 1.2))  // frame 2 admitted — dup still in flight
+	m.Tap(ev(msgnet.TapSend, 0))      // frame 1 admitted
+	m.Tap(ev(msgnet.TapDup, 0))       // duplicate of frame 1 scheduled
+	m.Tap(ev(msgnet.TapDeliver, 1))   // frame 1 arrives
+	m.Tap(ev(msgnet.TapSend, 1.2))    // frame 2 admitted — dup still in flight
 	m.Tap(ev(msgnet.TapDeliver, 1.5)) // the duplicate arrives: confirms the breach
 	m.Tap(ev(msgnet.TapDeliver, 2.2)) // frame 2 arrives
 	vs := m.Finish()

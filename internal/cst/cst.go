@@ -30,12 +30,21 @@ import (
 // Node is the CST wrapper of one process: an msgnet.Handler executing the
 // wrapped algorithm against cached neighbor states.
 type Node[S comparable] struct {
-	alg     statemodel.Algorithm[S]
-	id      int
-	n       int
-	state   S
-	cache   map[int]S // neighbor id -> cached state
-	refresh msgnet.Time
+	alg statemodel.Algorithm[S]
+	id  int
+	n   int
+	// predID and succID are the ring neighbor ids, precomputed so the
+	// per-message path (neighbor check, cache refresh, announce) never
+	// pays the modulo.
+	predID int
+	succID int
+	state  S
+	// cachePred and cacheSucc are the cache Z_i: one slot per ring
+	// neighbor, held as plain fields (a ring node has exactly two
+	// neighbors) so the hot receive/execute path touches no map.
+	cachePred S
+	cacheSucc S
+	refresh   msgnet.Time
 
 	// Hold is the critical-section dwell time: how long the node sits on
 	// an enabled rule before executing it, modelling the application work
@@ -62,19 +71,21 @@ func NewNode[S comparable](alg statemodel.Algorithm[S], id int, init S, refresh 
 	if refresh <= 0 {
 		panic("cst: refresh interval must be positive")
 	}
+	n := alg.N()
 	return &Node[S]{
 		alg:     alg,
 		id:      id,
-		n:       alg.N(),
+		n:       n,
+		predID:  (id - 1 + n) % n,
+		succID:  (id + 1) % n,
 		state:   init,
-		cache:   make(map[int]S, 2),
 		refresh: refresh,
 	}
 }
 
 // pred and succ return the ring neighbor ids.
-func (nd *Node[S]) pred() int { return (nd.id - 1 + nd.n) % nd.n }
-func (nd *Node[S]) succ() int { return (nd.id + 1) % nd.n }
+func (nd *Node[S]) pred() int { return nd.predID }
+func (nd *Node[S]) succ() int { return nd.succID }
 
 // State returns the node's current local state q_i.
 func (nd *Node[S]) State() S { return nd.state }
@@ -82,16 +93,36 @@ func (nd *Node[S]) State() S { return nd.state }
 // SetState overwrites the local state (fault injection).
 func (nd *Node[S]) SetState(s S) { nd.state = s }
 
-// Cache returns the cached state of neighbor k.
-func (nd *Node[S]) Cache(k int) S { return nd.cache[k] }
+// Cache returns the cached state of neighbor k (the zero state when k is
+// not a ring neighbor, mirroring an absent map entry).
+func (nd *Node[S]) Cache(k int) S {
+	switch k {
+	case nd.pred():
+		return nd.cachePred
+	case nd.succ():
+		return nd.cacheSucc
+	}
+	var zero S
+	return zero
+}
 
 // SetCache overwrites a cache entry (initialization or fault injection).
 // k must be a ring neighbor of the node.
 func (nd *Node[S]) SetCache(k int, s S) {
-	if k != nd.pred() && k != nd.succ() {
+	// On two-node rings pred == succ; keep both slots in step, as the
+	// single map entry did.
+	ok := false
+	if k == nd.pred() {
+		nd.cachePred = s
+		ok = true
+	}
+	if k == nd.succ() {
+		nd.cacheSucc = s
+		ok = true
+	}
+	if !ok {
 		panic(fmt.Sprintf("cst: node %d has no neighbor %d", nd.id, k))
 	}
-	nd.cache[k] = s
 }
 
 // View builds the node's current view of the ring: its own state plus the
@@ -102,36 +133,33 @@ func (nd *Node[S]) View() statemodel.View[S] {
 		I:    nd.id,
 		N:    nd.n,
 		Self: nd.state,
-		Pred: nd.cache[nd.pred()],
-		Succ: nd.cache[nd.succ()],
+		Pred: nd.cachePred,
+		Succ: nd.cacheSucc,
 	}
 }
 
 // Start implements msgnet.Handler: announce the initial state and arm the
 // refresh timer with a random phase so nodes do not beat in lockstep.
-func (nd *Node[S]) Start(ctx *msgnet.Context) {
+func (nd *Node[S]) Start(ctx *msgnet.Context[S]) {
 	nd.announce(ctx)
 	phase := msgnet.Time(ctx.Rand().Float64()) * nd.refresh
 	ctx.After(phase, timerRefresh)
 }
 
-// Receive implements msgnet.Handler: Algorithm 4's message action.
-func (nd *Node[S]) Receive(ctx *msgnet.Context, from int, payload any) {
-	s, ok := payload.(S)
-	if !ok {
-		panic(fmt.Sprintf("cst: node %d received %T from %d", nd.id, payload, from))
-	}
-	if from != nd.pred() && from != nd.succ() {
+// Receive implements msgnet.Handler: Algorithm 4's message action. The
+// payload arrives as a concrete S — the network's frame type — so no
+// type assertion or unboxing happens per message.
+func (nd *Node[S]) Receive(ctx *msgnet.Context[S], from int, s S) {
+	if !nd.setCacheFast(from, s) {
 		panic(fmt.Sprintf("cst: node %d received from non-neighbor %d", nd.id, from))
 	}
-	nd.cache[from] = s
 	nd.executeOne(ctx)
 	nd.announce(ctx)
 }
 
 // Timer implements msgnet.Handler: periodic re-announcement and deferred
 // rule execution after the critical-section dwell.
-func (nd *Node[S]) Timer(ctx *msgnet.Context, kind int) {
+func (nd *Node[S]) Timer(ctx *msgnet.Context[S], kind int) {
 	switch kind {
 	case timerRefresh:
 		nd.announce(ctx)
@@ -145,7 +173,7 @@ func (nd *Node[S]) Timer(ctx *msgnet.Context, kind int) {
 
 // executeOne runs at most one enabled rule against the cached view, either
 // immediately (Hold == 0) or after the dwell time.
-func (nd *Node[S]) executeOne(ctx *msgnet.Context) {
+func (nd *Node[S]) executeOne(ctx *msgnet.Context[S]) {
 	if nd.Hold <= 0 {
 		nd.executeNow(ctx)
 		return
@@ -161,7 +189,7 @@ func (nd *Node[S]) executeOne(ctx *msgnet.Context) {
 
 // executeNow evaluates and applies the enabled rule, if any, against the
 // current cached view.
-func (nd *Node[S]) executeNow(ctx *msgnet.Context) {
+func (nd *Node[S]) executeNow(ctx *msgnet.Context[S]) {
 	v := nd.View()
 	rule := nd.alg.EnabledRule(v)
 	if rule == 0 {
@@ -176,7 +204,7 @@ func (nd *Node[S]) executeNow(ctx *msgnet.Context) {
 
 // announce sends the current state to both neighbors (busy links swallow
 // the send, per the one-message-per-direction link model).
-func (nd *Node[S]) announce(ctx *msgnet.Context) {
+func (nd *Node[S]) announce(ctx *msgnet.Context[S]) {
 	ctx.Send(nd.pred(), nd.state)
 	ctx.Send(nd.succ(), nd.state)
 }
@@ -185,7 +213,7 @@ func (nd *Node[S]) announce(ctx *msgnet.Context) {
 // simulation.
 type Ring[S comparable] struct {
 	// Net is the underlying event simulation; run it to advance time.
-	Net *msgnet.Network
+	Net *msgnet.Network[S]
 	// Nodes holds the CST nodes, indexed by process id.
 	Nodes []*Node[S]
 }
@@ -210,6 +238,11 @@ type Options[S comparable] struct {
 	CoherentCaches bool
 	// RandomState draws an arbitrary state for incoherent cache seeding.
 	RandomState func(rng *rand.Rand) S
+	// Arena, when non-nil, is installed on the network via UseArena so a
+	// sweep's simulations reuse one event arena (reset, not reallocated,
+	// between trials). The caller must not share a live arena between
+	// concurrently running rings.
+	Arena *msgnet.Arena[S]
 }
 
 // NewRing builds the network, one node per entry of init.
@@ -219,13 +252,16 @@ func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S
 		panic(fmt.Sprintf("cst: init length %d != n %d", len(init), n))
 	}
 	nodes := make([]*Node[S], n)
-	handlers := make([]msgnet.Handler, n)
+	handlers := make([]msgnet.Handler[S], n)
 	for i := 0; i < n; i++ {
 		nodes[i] = NewNode[S](alg, i, init[i], opts.Refresh)
 		nodes[i].Hold = opts.Hold
 		handlers[i] = nodes[i]
 	}
 	net := msgnet.New(handlers, opts.Seed)
+	if opts.Arena != nil {
+		net.UseArena(opts.Arena)
+	}
 	net.RingLinks(opts.Link)
 	seedRNG := rand.New(rand.NewSource(opts.Seed + 1))
 	for i, nd := range nodes {
@@ -302,4 +338,21 @@ func (r *Ring[S]) RuleExecutions() int {
 		total += nd.RuleExecutions
 	}
 	return total
+}
+
+// setCacheFast refreshes the cache slot(s) for from on the message hot
+// path (two comparisons, no map) and reports whether from is a ring
+// neighbor — the receive path's validity check, folded in so each
+// message pays for the comparisons once.
+func (nd *Node[S]) setCacheFast(from int, s S) bool {
+	ok := false
+	if from == nd.predID {
+		nd.cachePred = s
+		ok = true
+	}
+	if from == nd.succID {
+		nd.cacheSucc = s
+		ok = true
+	}
+	return ok
 }

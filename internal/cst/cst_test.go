@@ -344,7 +344,7 @@ func TestHealsFromMessageCorruption(t *testing.T) {
 		Seed:           11,
 		CoherentCaches: true,
 	})
-	r.Net.Corrupt = func(rng *rand.Rand, payload any) any {
+	r.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State {
 		return core.State{X: rng.Intn(6), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
 	}
 	// Run under corruption for 30 simulated seconds.
@@ -353,7 +353,7 @@ func TestHealsFromMessageCorruption(t *testing.T) {
 		t.Fatal("no corruption happened; test is vacuous")
 	}
 	// Stop corrupting; the system must stabilize and stay stable.
-	r.Net.Corrupt = func(rng *rand.Rand, payload any) any { return payload }
+	r.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State { return payload }
 	settle := r.Net.Now() + 20
 	r.Net.Run(settle)
 	var tl verify.Timeline

@@ -73,10 +73,17 @@ func (a *Algorithm) Rules() int { return 1 }
 // Guard evaluates G_i of the paper: the token condition of process v.I.
 // For the bottom process it is x_i = x_{i-1}; for the others x_i ≠ x_{i-1}.
 func Guard(v statemodel.View[State]) bool {
-	if v.Bottom() {
-		return v.Self.X == v.Pred.X
+	return GuardX(v.I, v.Self.X, v.Pred.X)
+}
+
+// GuardX is Guard on bare counters: the token condition of process i with
+// counter selfX whose predecessor shows predX. Embedding algorithms (core,
+// compose) evaluate it on every guard check, so it skips the view struct.
+func GuardX(i, selfX, predX int) bool {
+	if i == 0 {
+		return selfX == predX
 	}
-	return v.Self.X != v.Pred.X
+	return selfX != predX
 }
 
 // Command evaluates C_i of the paper and returns the new local state:

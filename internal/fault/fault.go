@@ -72,10 +72,11 @@ func CorruptCaches[S comparable](in *Injector, r *cst.Ring[S], count int, draw f
 // LossBurst is an msgnet handler (attach it as an extra, link-less node)
 // that alternates the network between lossless phases and bursts during
 // which the configured per-link LossProb applies. It models an interferer
-// that periodically jams the radio.
-type LossBurst struct {
+// that periodically jams the radio. P is the network's frame type; the
+// controller never touches payloads.
+type LossBurst[P any] struct {
 	// Net is the network whose LossEnabled gate is toggled.
-	Net *msgnet.Network
+	Net *msgnet.Network[P]
 	// Quiet is the duration of each lossless phase.
 	Quiet msgnet.Time
 	// Burst is the duration of each lossy phase.
@@ -88,16 +89,16 @@ const (
 )
 
 // Start implements msgnet.Handler.
-func (lb *LossBurst) Start(ctx *msgnet.Context) {
+func (lb *LossBurst[P]) Start(ctx *msgnet.Context[P]) {
 	lb.Net.LossEnabled = false
 	ctx.After(lb.Quiet, timerStartBurst)
 }
 
 // Receive implements msgnet.Handler; a LossBurst node has no links.
-func (lb *LossBurst) Receive(ctx *msgnet.Context, from int, payload any) {}
+func (lb *LossBurst[P]) Receive(ctx *msgnet.Context[P], from int, payload P) {}
 
 // Timer implements msgnet.Handler.
-func (lb *LossBurst) Timer(ctx *msgnet.Context, kind int) {
+func (lb *LossBurst[P]) Timer(ctx *msgnet.Context[P], kind int) {
 	switch kind {
 	case timerStartBurst:
 		lb.Net.LossEnabled = true

@@ -76,7 +76,7 @@ func TestLossBurstTogglesGate(t *testing.T) {
 	r := cst.NewRing[core.State](a, a.InitialLegitimate(), cst.Options[core.State]{
 		Link: msgnet.LinkParams{Delay: 0.01, LossProb: 1}, Refresh: 0.05, Seed: 3, CoherentCaches: true,
 	})
-	lb := &LossBurst{Net: r.Net, Quiet: 1, Burst: 0.5}
+	lb := &LossBurst[core.State]{Net: r.Net, Quiet: 1, Burst: 0.5}
 	r.Net.AddNode(lb)
 
 	// Sample the gate over time via the observer.

@@ -84,7 +84,7 @@ func (a *Analyzer) AppliesTo(path string) bool {
 
 // All returns the analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Locality, Determinism, ObsGuard, LockDiscipline}
+	return []*Analyzer{Locality, Determinism, ObsGuard, LockDiscipline, Hotpath}
 }
 
 // Lookup resolves an analyzer by name.

@@ -93,6 +93,7 @@ func TestFixtures(t *testing.T) {
 		{"determinism", Determinism},
 		{"obsguard", ObsGuard},
 		{"lockdiscipline", LockDiscipline},
+		{"hotpath", Hotpath},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -218,8 +219,8 @@ func TestDiagnosticJSONAndString(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 4 {
-		t.Fatalf("All() = %d analyzers, want 4", len(All()))
+	if len(All()) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, a := range All() {

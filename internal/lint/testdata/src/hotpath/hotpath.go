@@ -1,0 +1,85 @@
+// Package hotpath is the fixture for the hotpath analyzer: any-typed
+// struct fields and per-call allocations outside constructors are
+// flagged; constructors, amortizing allocations (append, make-slice),
+// and waivered cold paths are not.
+package hotpath
+
+// queue mimics the event container of a message-passing engine.
+type queue struct {
+	payload  any         // want `field payload is typed any`
+	boxed    interface{} // want `field boxed is typed any`
+	Stringer             // want `embeds an empty interface`
+	seq      uint64
+	slots    []int
+}
+
+// Stringer is empty on purpose: embedding it is the same box as a field.
+type Stringer interface{}
+
+// generic shows the sanctioned payload idiom: a field typed by a
+// parameter constrained by any is concrete at every instantiation and
+// must not be flagged.
+type generic[P any] struct {
+	payload P
+	seq     uint64
+}
+
+// typed is the concrete counterpart; nothing here is a finding.
+type typed struct {
+	payload int
+	names   []string
+}
+
+// NewQueue is a constructor: the one shape allowed to allocate.
+func NewQueue() *queue {
+	q := &queue{slots: make([]int, 0, 16)}
+	m := make(map[int]int)
+	_ = m
+	return q
+}
+
+// schedule sits on the per-event path; each of these forms is one heap
+// allocation per scheduled event.
+func schedule(q *queue, v int) *typed {
+	e := &typed{payload: v}    // want `allocates a composite literal per call`
+	p := new(typed)            // want `calls new\(\) per invocation`
+	seen := make(map[int]bool) // want `builds a map per invocation`
+	_ = seen
+	_ = p
+	return e
+}
+
+// deliver shows the allowed forms: value composites, append growth, and
+// slice make all amortize or stay on the stack.
+func deliver(q *queue, v int) typed {
+	e := typed{payload: v}
+	q.slots = append(q.slots, v)
+	buf := make([]int, 0, 4)
+	_ = buf
+	return e
+}
+
+// drain shows a closure on the hot path being scanned too.
+func drain(q *queue) func() *typed {
+	return func() *typed {
+		return new(typed) // want `calls new\(\) per invocation`
+	}
+}
+
+// rebuild is a cold path with an explicit, justified waiver.
+func rebuild(q *queue) map[int]int {
+	//lint:ignore hotpath one-shot diagnostic helper, never on the event path
+	idx := make(map[int]int, len(q.slots))
+	for i, s := range q.slots {
+		idx[s] = i
+	}
+	return idx
+}
+
+// shadowedNew proves only the predeclared builtins count: a local
+// function named new or make is not an allocation.
+func shadowedNew(q *queue) int {
+	new := func() int { return 1 }
+	make := func(n int) int { return n }
+	return new() + make(2)
+}

@@ -1,0 +1,144 @@
+// Differential test of the two event engines: the legacy boxed
+// container/heap queue (the seed implementation, kept as the reference)
+// and the zero-alloc arena must produce bit-identical behaviour for any
+// seed. The (at, seq) tie-break makes pop order engine-independent, and
+// both engines feed the same send() draw order, so the full tap stream —
+// every send, suppression, loss, corruption, duplication, delivery and
+// timer, with exact timestamps — must match event for event.
+package msgnet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/cst"
+	"ssrmin/internal/fault"
+	"ssrmin/internal/msgnet"
+)
+
+// runEngine drives a CST ring of the paper's SSRmin algorithm through a
+// lossy, jittery, duplicating, corrupting network — every coin and both
+// event kinds exercised, plus mid-run state/cache faults — and returns
+// the full tap stream, final stats and clock. legacy selects the
+// reference engine.
+func runEngine(t *testing.T, seed int64, legacy bool) ([]msgnet.TapEvent, msgnet.Stats, msgnet.Time) {
+	t.Helper()
+	const n = 5
+	const k = n + 1
+	alg := core.New(n, k)
+	draw := func(r *rand.Rand) core.State {
+		return core.State{X: r.Intn(k), RTS: r.Intn(2) == 1, TRA: r.Intn(2) == 1}
+	}
+	r := cst.NewRing[core.State](alg, alg.InitialLegitimate(), cst.Options[core.State]{
+		Link: msgnet.LinkParams{
+			Delay: 0.01, Jitter: 0.003,
+			LossProb: 0.1, DupProb: 0.2, CorruptProb: 0.05,
+		},
+		Refresh:        0.05,
+		Seed:           seed,
+		CoherentCaches: false,
+		RandomState:    draw,
+	})
+	r.Net.Legacy = legacy
+	r.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State { return draw(rng) }
+
+	var taps []msgnet.TapEvent
+	r.Net.Tap = func(e msgnet.TapEvent) { taps = append(taps, e) }
+
+	// Mid-run transient faults so the engines also agree across state and
+	// cache corruption (and the extra traffic they provoke).
+	inj := fault.NewInjector(seed + 1)
+	r.Net.Run(1.0)
+	fault.CorruptStates(inj, r, 2, draw)
+	r.Net.Run(2.0)
+	fault.CorruptCaches(inj, r, n, draw)
+	r.Net.Run(3.0)
+	return taps, r.Net.Stats(), r.Net.Now()
+}
+
+func TestEnginesProduceIdenticalTapStreams(t *testing.T) {
+	const seeds = 32
+	total := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		legacyTaps, legacyStats, legacyNow := runEngine(t, seed, true)
+		arenaTaps, arenaStats, arenaNow := runEngine(t, seed, false)
+		if len(legacyTaps) != len(arenaTaps) {
+			t.Fatalf("seed %d: legacy engine emitted %d tap events, arena %d",
+				seed, len(legacyTaps), len(arenaTaps))
+		}
+		for i := range legacyTaps {
+			if legacyTaps[i] != arenaTaps[i] {
+				t.Fatalf("seed %d: tap stream diverges at event %d: legacy %+v, arena %+v",
+					seed, i, legacyTaps[i], arenaTaps[i])
+			}
+		}
+		if legacyStats != arenaStats {
+			t.Fatalf("seed %d: stats diverge: legacy %+v, arena %+v", seed, legacyStats, arenaStats)
+		}
+		if legacyNow != arenaNow {
+			t.Fatalf("seed %d: clocks diverge: legacy %v, arena %v", seed, legacyNow, arenaNow)
+		}
+		if legacyStats.Lost == 0 || legacyStats.Duplicated == 0 || legacyStats.Corrupted == 0 ||
+			legacyStats.Suppressed == 0 {
+			t.Fatalf("seed %d exercised too few behaviours to be a fair differential: %+v",
+				seed, legacyStats)
+		}
+		total += len(legacyTaps)
+	}
+	if total == 0 {
+		t.Fatal("differential compared zero tap events")
+	}
+}
+
+// TestArenaReuseAcrossRunsIsDeterministic pins the reset-not-reallocate
+// contract: a simulation on a recycled arena (UseArena after a previous,
+// different run) behaves bit-identically to one on a fresh arena.
+func TestArenaReuseAcrossRunsIsDeterministic(t *testing.T) {
+	run := func(arena *msgnet.Arena[core.State], seed int64) []msgnet.TapEvent {
+		taps, _, _ := runEngineWithArena(t, seed, arena)
+		return taps
+	}
+	fresh3 := run(nil, 3)
+	arena := msgnet.NewArena[core.State]()
+	run(arena, 17) // dirty the arena with an unrelated simulation
+	reused3 := run(arena, 3)
+	if len(fresh3) != len(reused3) {
+		t.Fatalf("recycled arena emitted %d tap events, fresh %d", len(reused3), len(fresh3))
+	}
+	for i := range fresh3 {
+		if fresh3[i] != reused3[i] {
+			t.Fatalf("recycled arena diverges at event %d: fresh %+v, reused %+v",
+				i, fresh3[i], reused3[i])
+		}
+	}
+	if arena.Cap() == 0 {
+		t.Fatal("arena never grew; the reuse test exercised nothing")
+	}
+}
+
+func runEngineWithArena(t *testing.T, seed int64, arena *msgnet.Arena[core.State]) ([]msgnet.TapEvent, msgnet.Stats, msgnet.Time) {
+	t.Helper()
+	const n = 5
+	const k = n + 1
+	alg := core.New(n, k)
+	draw := func(r *rand.Rand) core.State {
+		return core.State{X: r.Intn(k), RTS: r.Intn(2) == 1, TRA: r.Intn(2) == 1}
+	}
+	r := cst.NewRing[core.State](alg, alg.InitialLegitimate(), cst.Options[core.State]{
+		Link: msgnet.LinkParams{
+			Delay: 0.01, Jitter: 0.003,
+			LossProb: 0.1, DupProb: 0.2, CorruptProb: 0.05,
+		},
+		Refresh:        0.05,
+		Seed:           seed,
+		CoherentCaches: false,
+		RandomState:    draw,
+		Arena:          arena,
+	})
+	r.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State { return draw(rng) }
+	var taps []msgnet.TapEvent
+	r.Net.Tap = func(e msgnet.TapEvent) { taps = append(taps, e) }
+	r.Net.Run(2.0)
+	return taps, r.Net.Stats(), r.Net.Now()
+}

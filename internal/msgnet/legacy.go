@@ -1,0 +1,37 @@
+// The legacy event queue: the seed implementation's boxed-pointer
+// container/heap, kept verbatim (allocations included) as the
+// differential reference for the arena engine. A Network with Legacy set
+// runs on this queue and must produce a bit-identical tap stream to the
+// arena engine for any seed — engine_diff_test.go enforces it. Do not
+// optimize this path; its cost is the baseline BENCH_msgnet.json measures
+// against.
+package msgnet
+
+// legacyHeap implements container/heap over boxed events with the same
+// (at, seq) order as the arena heap.
+type legacyHeap[P any] []*event[P]
+
+func (h legacyHeap[P]) Len() int { return len(h) }
+func (h legacyHeap[P]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeap[P]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *legacyHeap[P]) Push(x any) {
+	*h = append(*h, x.(*event[P]))
+}
+
+func (h *legacyHeap[P]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	// Nil the vacated slot: the seed version kept the dead *event pointer
+	// alive in the backing array for the rest of the run, pinning every
+	// popped event (and its payload) against the garbage collector.
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

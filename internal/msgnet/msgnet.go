@@ -11,6 +11,15 @@
 // Send while the link is busy is therefore silently dropped (the result is
 // reported so callers can count suppressions). This back-pressure is what
 // keeps the cached sensornet transform's echo storm finite.
+//
+// The event queue has two interchangeable engines. The default is a
+// zero-allocation arena (see Arena): value-typed events in an index-based
+// 4-ary heap with an intrusive free list, payloads held as the concrete
+// type parameter P instead of boxed in `any`. Setting Legacy before the
+// first event selects the seed implementation's boxed container/heap
+// queue, kept as the differential reference (see engine_diff_test.go): the
+// (at, seq) tie-break makes the pop order — and therefore every seeded
+// trace — independent of which engine runs it.
 package msgnet
 
 import (
@@ -44,55 +53,51 @@ type LinkParams struct {
 	CorruptProb float64
 }
 
-// Handler is the behaviour of one node.
-type Handler interface {
+// Handler is the behaviour of one node. P is the network's frame type:
+// handlers receive payloads as concrete values, never boxed.
+type Handler[P any] interface {
 	// Start runs once at time zero, before any delivery.
-	Start(ctx *Context)
+	Start(ctx *Context[P])
 	// Receive runs on each message delivery.
-	Receive(ctx *Context, from int, payload any)
+	Receive(ctx *Context[P], from int, payload P)
 	// Timer runs when a timer set via Context.After fires.
-	Timer(ctx *Context, kind int)
+	Timer(ctx *Context[P], kind int)
 }
 
 // Context is the interface a handler uses to interact with the network. A
 // Context is only valid for the duration of the callback it is passed to.
-type Context struct {
-	net  *Network
+type Context[P any] struct {
+	net  *Network[P]
 	node int
 }
 
 // ID returns the node's index.
-func (c *Context) ID() int { return c.node }
+func (c *Context[P]) ID() int { return c.node }
 
 // Now returns the current simulated time.
-func (c *Context) Now() Time { return c.net.now }
+func (c *Context[P]) Now() Time { return c.net.now }
 
 // Rand returns the simulation RNG (shared, deterministic).
-func (c *Context) Rand() *rand.Rand { return c.net.rng }
+func (c *Context[P]) Rand() *rand.Rand { return c.net.rng }
 
 // N returns the number of nodes.
-func (c *Context) N() int { return len(c.net.handlers) }
+func (c *Context[P]) N() int { return len(c.net.handlers) }
 
 // Send transmits payload to node `to` over the configured link. It
 // reports whether the message entered the link: false when no link exists,
 // when the link is still busy with an earlier message (the paper's
 // one-message-per-direction rule), or when the loss coin eats it.
-func (c *Context) Send(to int, payload any) bool {
+func (c *Context[P]) Send(to int, payload P) bool {
 	return c.net.send(c.node, to, payload)
 }
 
 // After schedules a timer callback for the node after d time units. Kind
 // is handed back to the Timer callback.
-func (c *Context) After(d Time, kind int) {
+func (c *Context[P]) After(d Time, kind int) {
 	if d < 0 {
 		panic("msgnet: negative timer delay")
 	}
-	c.net.push(&event{
-		at:    c.net.now + d,
-		kind:  evTimer,
-		node:  c.node,
-		tkind: kind,
-	})
+	c.net.pushTimer(c.net.now+d, int32(c.node), int32(kind))
 }
 
 type evKind uint8
@@ -102,28 +107,23 @@ const (
 	evDeliver
 )
 
-type event struct {
-	at    Time
-	seq   uint64 // tiebreaker for determinism
-	kind  evKind
-	node  int // destination node
-	from  int // sender (evDeliver)
-	tkind int // timer kind (evTimer)
-	load  any // payload (evDeliver)
+// event is one scheduled occurrence. It is a value type: the arena engine
+// stores events in place and recycles the slots, so a simulated message
+// costs no heap allocation. The legacy reference engine boxes the same
+// struct behind a pointer, exactly as the seed implementation did.
+type event[P any] struct {
+	at   Time
+	seq  uint64 // tiebreaker for determinism
+	load P      // payload (evDeliver)
+	// next links free arena slots (intrusive free list); pos marks the
+	// slot live (livePos) or free (freePos). Both are unused by the
+	// legacy engine.
+	next, pos int32
+	node      int32 // destination node
+	from      int32 // sender (evDeliver)
+	tkind     int32 // timer kind (evTimer)
+	kind      evKind
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 type link struct {
 	params LinkParams
@@ -178,7 +178,9 @@ func (k TapKind) String() string {
 	return "unknown"
 }
 
-// TapEvent is one network-level action.
+// TapEvent is one network-level action. It is deliberately not generic:
+// tap consumers (space-time diagrams, the crosscheck link monitor) watch
+// the network layer and never need the payload type.
 type TapEvent struct {
 	// At is the simulated time of the action.
 	At Time
@@ -188,7 +190,7 @@ type TapEvent struct {
 	Node, From int
 }
 
-func (n *Network) tap(e TapEvent) {
+func (n *Network[P]) tap(e TapEvent) {
 	if n.Tap != nil {
 		n.Tap(e)
 	}
@@ -215,15 +217,25 @@ type Stats struct {
 	Timers int
 }
 
-// Network is a discrete-event simulation instance.
-type Network struct {
-	handlers []Handler
+// Network is a discrete-event simulation instance over frame type P.
+type Network[P any] struct {
+	handlers []Handler[P]
 	links    map[[2]int]*link
-	pq       eventHeap
-	now      Time
-	seq      uint64
-	rng      *rand.Rand
-	started  bool
+	// linkAt is the compiled link table — linkAt[from*n+to] — built when
+	// the simulation starts so the per-send map lookup leaves the hot
+	// path. Entries alias the map's *link values, so SetLinkUp outages
+	// are visible through both.
+	linkAt  []*link
+	arena   *Arena[P]
+	legacy  *legacyHeap[P]
+	now     Time
+	seq     uint64
+	rng     *rand.Rand
+	started bool
+	// ctx is the reusable callback context handed out by the arena
+	// engine; the legacy engine allocates a fresh Context per callback,
+	// as the seed implementation did.
+	ctx Context[P]
 
 	// Observer, when non-nil, runs after every processed event (and once
 	// after all Start callbacks). Observers read global state through the
@@ -241,31 +253,57 @@ type Network struct {
 	// Corrupt, when non-nil, rewrites a payload hit by a CorruptProb coin
 	// (e.g. into a random state). When nil, corrupted messages are
 	// dropped instead — a checksum would have rejected them anyway.
-	Corrupt func(rng *rand.Rand, payload any) any
+	Corrupt func(rng *rand.Rand, payload P) P
 
 	// Obs, when non-nil, receives message send/recv/drop counters and
 	// events; times are simulated seconds. Suppressed, lost and
 	// checksum-discarded messages all count as drops.
 	Obs *obs.Observer
 
+	// Legacy, when set before the first event is scheduled, runs the
+	// simulation on the seed implementation's boxed container/heap queue
+	// instead of the arena. Kept as the differential reference engine:
+	// both engines must produce bit-identical tap streams for any seed.
+	Legacy bool
+
 	stats Stats
 }
 
 // New creates a network of the given handlers with no links. Seed fixes
 // all randomness.
-func New(handlers []Handler, seed int64) *Network {
-	return &Network{
+func New[P any](handlers []Handler[P], seed int64) *Network[P] {
+	n := &Network[P]{
 		handlers:    handlers,
 		links:       make(map[[2]int]*link),
 		rng:         rand.New(rand.NewSource(seed)),
 		LossEnabled: true,
 	}
+	n.ctx.net = n
+	return n
+}
+
+// UseArena installs a caller-owned event arena (e.g. one drawn from a
+// parsweep.Pool) so consecutive simulations reuse the same slot storage
+// instead of growing a fresh one. The arena is Reset. It must be called
+// before any event is scheduled and is incompatible with Legacy.
+func (n *Network[P]) UseArena(a *Arena[P]) {
+	if n.started {
+		panic("msgnet: UseArena after start")
+	}
+	if n.Legacy || n.legacy != nil {
+		panic("msgnet: UseArena on a Legacy-engine network")
+	}
+	if n.arena != nil && n.arena.Len() > 0 {
+		panic("msgnet: UseArena after events were scheduled")
+	}
+	a.Reset()
+	n.arena = a
 }
 
 // AddNode appends an extra handler (e.g. a fault controller with no
 // links) and returns its node id. It must be called before the simulation
 // starts.
-func (n *Network) AddNode(h Handler) int {
+func (n *Network[P]) AddNode(h Handler[P]) int {
 	if n.started {
 		panic("msgnet: AddNode after start")
 	}
@@ -274,17 +312,25 @@ func (n *Network) AddNode(h Handler) int {
 }
 
 // AddLink installs a directed link from a to b.
-func (n *Network) AddLink(a, b int, p LinkParams) {
+func (n *Network[P]) AddLink(a, b int, p LinkParams) {
 	if p.Delay < 0 || p.Jitter < 0 || p.LossProb < 0 || p.LossProb > 1 ||
 		p.DupProb < 0 || p.DupProb > 1 || p.CorruptProb < 0 || p.CorruptProb > 1 {
 		panic(fmt.Sprintf("msgnet: bad link params %+v", p))
 	}
-	n.links[[2]int{a, b}] = &link{params: p}
+	//lint:ignore hotpath topology setup, runs once per ring
+	l := &link{params: p}
+	n.links[[2]int{a, b}] = l
+	if n.linkAt != nil {
+		nn := len(n.handlers)
+		if a >= 0 && a < nn && b >= 0 && b < nn {
+			n.linkAt[a*nn+b] = l
+		}
+	}
 }
 
 // RingLinks installs bidirectional ring links between consecutive nodes
 // with identical parameters.
-func (n *Network) RingLinks(p LinkParams) {
+func (n *Network[P]) RingLinks(p LinkParams) {
 	size := len(n.handlers)
 	for i := 0; i < size; i++ {
 		j := (i + 1) % size
@@ -294,21 +340,134 @@ func (n *Network) RingLinks(p LinkParams) {
 }
 
 // Stats returns a copy of the network counters.
-func (n *Network) Stats() Stats { return n.stats }
+func (n *Network[P]) Stats() Stats { return n.stats }
 
 // Now returns current simulated time.
-func (n *Network) Now() Time { return n.now }
+func (n *Network[P]) Now() Time { return n.now }
 
-func (n *Network) push(e *event) {
+// ensureQueue picks the event engine the first time one is needed.
+func (n *Network[P]) ensureQueue() {
+	if n.legacy != nil || n.arena != nil {
+		return
+	}
+	if n.Legacy {
+		//lint:ignore hotpath engine selection, runs once per simulation
+		n.legacy = new(legacyHeap[P])
+		return
+	}
+	n.arena = NewArena[P]()
+}
+
+// push schedules *e, stamping its sequence number. It takes a pointer so
+// the 72-byte event is written once by the caller and copied once into
+// its engine slot, not passed through intermediate frames.
+func (n *Network[P]) push(e *event[P]) {
 	e.seq = n.seq
 	n.seq++
-	heap.Push(&n.pq, e)
+	n.ensureQueue()
+	if n.legacy != nil {
+		boxed := *e
+		heap.Push(n.legacy, &boxed)
+		return
+	}
+	n.arena.push(e)
+}
+
+// pushDeliver schedules a delivery without staging the event on the
+// caller's stack: on the arena engine the fields are written straight
+// into the recycled slot.
+func (n *Network[P]) pushDeliver(at Time, to, from int32, payload *P) {
+	if n.legacy != nil || n.arena == nil {
+		e := event[P]{at: at, kind: evDeliver, node: to, from: from, load: *payload}
+		n.push(&e)
+		return
+	}
+	seq := n.seq
+	n.seq++
+	a := n.arena
+	s := a.alloc()
+	sl := &a.slots[s]
+	sl.at = at
+	sl.seq = seq
+	sl.load = *payload
+	sl.next = freePos
+	sl.pos = livePos
+	sl.node = to
+	sl.from = from
+	sl.tkind = 0
+	sl.kind = evDeliver
+	a.heap = append(a.heap, heapEntry{})
+	a.up(len(a.heap)-1, heapEntry{at: at, seq: seq, slot: s})
+}
+
+// pushTimer is pushDeliver for timer events.
+func (n *Network[P]) pushTimer(at Time, node, tkind int32) {
+	if n.legacy != nil || n.arena == nil {
+		e := event[P]{at: at, kind: evTimer, node: node, tkind: tkind}
+		n.push(&e)
+		return
+	}
+	seq := n.seq
+	n.seq++
+	a := n.arena
+	s := a.alloc()
+	sl := &a.slots[s]
+	var zero P
+	sl.at = at
+	sl.seq = seq
+	sl.load = zero
+	sl.next = freePos
+	sl.pos = livePos
+	sl.node = node
+	sl.from = 0
+	sl.tkind = tkind
+	sl.kind = evTimer
+	a.heap = append(a.heap, heapEntry{})
+	a.up(len(a.heap)-1, heapEntry{at: at, seq: seq, slot: s})
+}
+
+func (n *Network[P]) qLen() int {
+	if n.legacy != nil {
+		return n.legacy.Len()
+	}
+	if n.arena == nil {
+		return 0
+	}
+	return n.arena.Len()
+}
+
+// qPeekAt returns the timestamp of the next event; the queue must be
+// non-empty.
+func (n *Network[P]) qPeekAt() Time {
+	if n.legacy != nil {
+		return (*n.legacy)[0].at
+	}
+	return n.arena.heap[0].at
+}
+
+func (n *Network[P]) qPop() event[P] {
+	if n.legacy != nil {
+		return *heap.Pop(n.legacy).(*event[P])
+	}
+	return n.arena.pop()
+}
+
+// callbackCtx returns the Context for a callback at node. The arena
+// engine reuses one Context per network; the legacy engine allocates, as
+// the seed implementation did.
+func (n *Network[P]) callbackCtx(node int) *Context[P] {
+	if n.legacy != nil || n.Legacy {
+		//lint:ignore hotpath legacy reference engine allocates by design
+		return &Context[P]{net: n, node: node}
+	}
+	n.ctx.node = node
+	return &n.ctx
 }
 
 // SetLinkUp raises or cuts the directed link from a to b. Messages sent
 // into a cut link are dropped (and counted as lost). Cutting both
 // directions of one ring edge simulates a cable cut / radio outage.
-func (n *Network) SetLinkUp(a, b int, up bool) {
+func (n *Network[P]) SetLinkUp(a, b int, up bool) {
 	l, ok := n.links[[2]int{a, b}]
 	if !ok {
 		panic(fmt.Sprintf("msgnet: no link %d->%d", a, b))
@@ -316,9 +475,23 @@ func (n *Network) SetLinkUp(a, b int, up bool) {
 	l.down = !up
 }
 
-func (n *Network) send(from, to int, payload any) bool {
-	l, ok := n.links[[2]int{from, to}]
-	if !ok {
+// linkFromTo resolves the directed link on the hot path: one bounds check
+// and one slice index once the table is compiled, with the construction
+// map as the pre-start fallback.
+func (n *Network[P]) linkFromTo(from, to int) *link {
+	if n.linkAt != nil {
+		nn := len(n.handlers)
+		if from < 0 || from >= nn || to < 0 || to >= nn {
+			return nil
+		}
+		return n.linkAt[from*nn+to]
+	}
+	return n.links[[2]int{from, to}]
+}
+
+func (n *Network[P]) send(from, to int, payload P) bool {
+	l := n.linkFromTo(from, to)
+	if l == nil {
 		return false
 	}
 	if l.down {
@@ -370,7 +543,7 @@ func (n *Network) send(from, to int, payload any) bool {
 	}
 	at := n.now + l.params.Delay + n.jitter(l)
 	l.busyUntil = at
-	n.push(&event{at: at, kind: evDeliver, node: to, from: from, load: payload})
+	n.pushDeliver(at, int32(to), int32(from), &payload)
 	n.stats.Sent++
 	n.tap(TapEvent{At: n.now, Kind: TapSend, Node: to, From: from})
 	if o := n.Obs; o != nil {
@@ -383,28 +556,43 @@ func (n *Network) send(from, to int, payload any) bool {
 		// argument's back-pressure depends on.
 		dupAt := at + n.jitter(l)
 		l.busyUntil = dupAt
-		n.push(&event{at: dupAt, kind: evDeliver, node: to, from: from, load: payload})
+		n.pushDeliver(dupAt, int32(to), int32(from), &payload)
 		n.stats.Duplicated++
 		n.tap(TapEvent{At: n.now, Kind: TapDup, Node: to, From: from})
 	}
 	return true
 }
 
-func (n *Network) jitter(l *link) Time {
+func (n *Network[P]) jitter(l *link) Time {
 	if l.params.Jitter <= 0 {
 		return 0
 	}
 	return Time(n.rng.Float64()) * l.params.Jitter
 }
 
+// compileLinks freezes the construction-time link map into the dense
+// from*n+to table. Runs once at start; iteration order is irrelevant
+// because every key writes a distinct slot.
+func (n *Network[P]) compileLinks() {
+	nn := len(n.handlers)
+	n.linkAt = make([]*link, nn*nn)
+	for key, l := range n.links {
+		if key[0] >= 0 && key[0] < nn && key[1] >= 0 && key[1] < nn {
+			n.linkAt[key[0]*nn+key[1]] = l
+		}
+	}
+}
+
 // start invokes Start on every handler (once).
-func (n *Network) start() {
+func (n *Network[P]) start() {
 	if n.started {
 		return
 	}
 	n.started = true
-	for i, h := range n.handlers {
-		h.Start(&Context{net: n, node: i})
+	n.ensureQueue()
+	n.compileLinks()
+	for i := range n.handlers {
+		n.handlers[i].Start(n.callbackCtx(i))
 	}
 	if n.Observer != nil {
 		n.Observer(n.now)
@@ -412,44 +600,61 @@ func (n *Network) start() {
 }
 
 // Step processes the next event. It reports false when the queue is empty.
-func (n *Network) Step() bool {
+func (n *Network[P]) Step() bool {
 	n.start()
-	if n.pq.Len() == 0 {
+	if n.qLen() == 0 {
 		return false
 	}
-	e := heap.Pop(&n.pq).(*event)
+	e := n.qPop()
+	n.dispatch(&e)
+	return true
+}
+
+// dispatch advances the clock to *e and runs its callback.
+func (n *Network[P]) dispatch(e *event[P]) {
 	if e.at < n.now {
 		panic("msgnet: event in the past")
 	}
 	n.now = e.at
-	ctx := &Context{net: n, node: e.node}
+	node := int(e.node)
+	ctx := n.callbackCtx(node)
 	switch e.kind {
 	case evDeliver:
 		n.stats.Delivered++
-		n.tap(TapEvent{At: n.now, Kind: TapDeliver, Node: e.node, From: e.from})
+		n.tap(TapEvent{At: n.now, Kind: TapDeliver, Node: node, From: int(e.from)})
 		if o := n.Obs; o != nil {
-			o.MsgRecv(float64(n.now), e.node, e.from)
+			o.MsgRecv(float64(n.now), node, int(e.from))
 		}
-		n.handlers[e.node].Receive(ctx, e.from, e.load)
+		n.handlers[node].Receive(ctx, int(e.from), e.load)
 	case evTimer:
 		n.stats.Timers++
-		n.tap(TapEvent{At: n.now, Kind: TapTimer, Node: e.node})
-		n.handlers[e.node].Timer(ctx, e.tkind)
+		n.tap(TapEvent{At: n.now, Kind: TapTimer, Node: node})
+		n.handlers[node].Timer(ctx, int(e.tkind))
 	}
 	if n.Observer != nil {
 		n.Observer(n.now)
 	}
-	return true
 }
 
 // Run processes events until simulated time exceeds until or the event
 // queue drains. It returns the number of events processed.
-func (n *Network) Run(until Time) int {
+func (n *Network[P]) Run(until Time) int {
 	n.start()
 	count := 0
-	for n.pq.Len() > 0 && n.pq[0].at <= until {
-		n.Step()
-		count++
+	if a := n.arena; a != nil {
+		// Arena fast loop: peek/pop directly on the engine, one event
+		// copy per step, no per-step engine re-dispatch.
+		var e event[P]
+		for len(a.heap) > 0 && a.heap[0].at <= until {
+			a.popInto(&e)
+			n.dispatch(&e)
+			count++
+		}
+	} else {
+		for n.qLen() > 0 && n.qPeekAt() <= until {
+			n.Step()
+			count++
+		}
 	}
 	if n.now < until {
 		n.now = until

@@ -17,7 +17,7 @@ type echoNode struct {
 	times     []Time
 }
 
-func (e *echoNode) Start(ctx *Context) {
+func (e *echoNode) Start(ctx *Context[any]) {
 	if e.payload != nil {
 		ctx.Send(e.sendTo, e.payload)
 	}
@@ -26,13 +26,13 @@ func (e *echoNode) Start(ctx *Context) {
 	}
 }
 
-func (e *echoNode) Receive(ctx *Context, from int, payload any) {
+func (e *echoNode) Receive(ctx *Context[any], from int, payload any) {
 	e.received = append(e.received, payload)
 	e.from = append(e.from, from)
 	e.times = append(e.times, ctx.Now())
 }
 
-func (e *echoNode) Timer(ctx *Context, kind int) {
+func (e *echoNode) Timer(ctx *Context[any], kind int) {
 	if kind == 7 {
 		e.timerHits++
 	}
@@ -41,7 +41,7 @@ func (e *echoNode) Timer(ctx *Context, kind int) {
 func TestDeliveryWithDelay(t *testing.T) {
 	a := &echoNode{sendTo: 1, payload: "hi"}
 	b := &echoNode{}
-	net := New([]Handler{a, b}, 1)
+	net := New([]Handler[any]{a, b}, 1)
 	net.AddLink(0, 1, LinkParams{Delay: 0.5})
 	net.Run(10)
 	if len(b.received) != 1 || b.received[0] != "hi" {
@@ -62,7 +62,7 @@ func TestDeliveryWithDelay(t *testing.T) {
 func TestNoLinkNoDelivery(t *testing.T) {
 	a := &echoNode{sendTo: 1, payload: "x"}
 	b := &echoNode{}
-	net := New([]Handler{a, b}, 1)
+	net := New([]Handler[any]{a, b}, 1)
 	net.Run(10)
 	if len(b.received) != 0 {
 		t.Fatalf("received %v without a link", b.received)
@@ -71,7 +71,7 @@ func TestNoLinkNoDelivery(t *testing.T) {
 
 func TestTimerFires(t *testing.T) {
 	a := &echoNode{timerIn: 2}
-	net := New([]Handler{a}, 1)
+	net := New([]Handler[any]{a}, 1)
 	net.Run(10)
 	if a.timerHits != 1 {
 		t.Errorf("timer hits = %d", a.timerHits)
@@ -87,20 +87,20 @@ type chattyNode struct {
 	got   int
 }
 
-func (c *chattyNode) Start(ctx *Context) {
+func (c *chattyNode) Start(ctx *Context[any]) {
 	for i := 0; i < c.k; i++ {
 		ctx.Send(c.to, i)
 	}
 }
-func (c *chattyNode) Receive(ctx *Context, from int, payload any) { c.got++ }
-func (c *chattyNode) Timer(ctx *Context, kind int)                {}
+func (c *chattyNode) Receive(ctx *Context[any], from int, payload any) { c.got++ }
+func (c *chattyNode) Timer(ctx *Context[any], kind int)                {}
 
 func TestBusyLinkSuppressesSends(t *testing.T) {
 	// Five instantaneous sends at t=0 on a link with delay: only the first
 	// may enter; the rest are suppressed (one message per direction).
 	a := &chattyNode{to: 1, k: 5}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 1)
+	net := New([]Handler[any]{a, b}, 1)
 	net.AddLink(0, 1, LinkParams{Delay: 1})
 	net.Run(10)
 	st := net.Stats()
@@ -116,7 +116,7 @@ func TestZeroDelayLinkIsNotBusy(t *testing.T) {
 	// With zero delay the link frees instantly, so all sends pass.
 	a := &chattyNode{to: 1, k: 3}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 1)
+	net := New([]Handler[any]{a, b}, 1)
 	net.AddLink(0, 1, LinkParams{})
 	net.Run(10)
 	if b.got != 3 {
@@ -127,7 +127,7 @@ func TestZeroDelayLinkIsNotBusy(t *testing.T) {
 func TestLossAndGate(t *testing.T) {
 	a := &chattyNode{to: 1, k: 1}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 3)
+	net := New([]Handler[any]{a, b}, 3)
 	net.AddLink(0, 1, LinkParams{LossProb: 1})
 	net.Run(10)
 	if b.got != 0 || net.Stats().Lost != 1 {
@@ -137,7 +137,7 @@ func TestLossAndGate(t *testing.T) {
 	// Gate off: same topology, loss disabled.
 	a2 := &chattyNode{to: 1, k: 1}
 	b2 := &chattyNode{}
-	net2 := New([]Handler{a2, b2}, 3)
+	net2 := New([]Handler[any]{a2, b2}, 3)
 	net2.AddLink(0, 1, LinkParams{LossProb: 1})
 	net2.LossEnabled = false
 	net2.Run(10)
@@ -149,7 +149,7 @@ func TestLossAndGate(t *testing.T) {
 func TestDuplication(t *testing.T) {
 	a := &chattyNode{to: 1, k: 1}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 5)
+	net := New([]Handler[any]{a, b}, 5)
 	net.AddLink(0, 1, LinkParams{Delay: 1, DupProb: 1})
 	net.Run(10)
 	if b.got != 2 || net.Stats().Duplicated != 1 {
@@ -164,7 +164,7 @@ func TestDuplication(t *testing.T) {
 func TestDuplicateOccupiesLink(t *testing.T) {
 	a := &chattyNode{}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 11)
+	net := New([]Handler[any]{a, b}, 11)
 	net.AddLink(0, 1, LinkParams{Delay: 1, Jitter: 0.5, DupProb: 1})
 	var dups []Time
 	net.Tap = func(e TapEvent) {
@@ -173,7 +173,7 @@ func TestDuplicateOccupiesLink(t *testing.T) {
 		}
 	}
 	net.Run(0) // run Start callbacks only; no traffic yet
-	ctx := &Context{net: net, node: 0}
+	ctx := &Context[any]{net: net, node: 0}
 	if !ctx.Send(1, "x") {
 		t.Fatal("first send refused on an idle link")
 	}
@@ -211,10 +211,10 @@ func TestDuplicateOccupiesLink(t *testing.T) {
 func TestLostFrameHoldsMedium(t *testing.T) {
 	a := &chattyNode{}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 3)
+	net := New([]Handler[any]{a, b}, 3)
 	net.AddLink(0, 1, LinkParams{Delay: 1, LossProb: 1})
 	net.Run(0)
-	ctx := &Context{net: net, node: 0}
+	ctx := &Context[any]{net: net, node: 0}
 	if ctx.Send(1, "x") {
 		t.Fatal("lossy send reported success")
 	}
@@ -241,10 +241,10 @@ func TestLostFrameHoldsMedium(t *testing.T) {
 func TestCorruptedFrameHoldsMedium(t *testing.T) {
 	a := &chattyNode{}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 3)
+	net := New([]Handler[any]{a, b}, 3)
 	net.AddLink(0, 1, LinkParams{Delay: 1, CorruptProb: 1})
 	net.Run(0)
-	ctx := &Context{net: net, node: 0}
+	ctx := &Context[any]{net: net, node: 0}
 	if ctx.Send(1, "x") {
 		t.Fatal("corrupted send reported success without a hook")
 	}
@@ -276,8 +276,8 @@ func TestSeededCoinDrawOrderPinned(t *testing.T) {
 	// network RNG, so every draw belongs to a send attempt.
 	sent := 0
 	a := &funcNode{
-		start: func(ctx *Context) { ctx.After(period, 0) },
-		timer: func(ctx *Context, _ int) {
+		start: func(ctx *Context[any]) { ctx.After(period, 0) },
+		timer: func(ctx *Context[any], _ int) {
 			ctx.Send(1, sent)
 			sent++
 			if sent < attempts {
@@ -287,7 +287,7 @@ func TestSeededCoinDrawOrderPinned(t *testing.T) {
 	}
 	b := &funcNode{}
 	var got []TapEvent
-	net := New([]Handler{a, b}, seed)
+	net := New([]Handler[any]{a, b}, seed)
 	net.AddLink(0, 1, p)
 	net.Tap = func(e TapEvent) {
 		if e.Kind != TapTimer {
@@ -378,7 +378,7 @@ func sortTimes(ts []Time) {
 }
 
 func TestRingLinks(t *testing.T) {
-	nodes := []Handler{&echoNode{}, &echoNode{}, &echoNode{}}
+	nodes := []Handler[any]{&echoNode{}, &echoNode{}, &echoNode{}}
 	net := New(nodes, 1)
 	net.RingLinks(LinkParams{Delay: 0.1})
 	if len(net.links) != 6 {
@@ -390,7 +390,7 @@ func TestDeterminismSameSeed(t *testing.T) {
 	run := func(seed int64) (Stats, Time) {
 		a := &echoNode{sendTo: 1, payload: 1, timerIn: 0.3}
 		b := &echoNode{sendTo: 0, payload: 2, timerIn: 0.7}
-		net := New([]Handler{a, b}, seed)
+		net := New([]Handler[any]{a, b}, seed)
 		net.AddLink(0, 1, LinkParams{Delay: 0.2, Jitter: 0.3, LossProb: 0.2})
 		net.AddLink(1, 0, LinkParams{Delay: 0.2, Jitter: 0.3, LossProb: 0.2})
 		net.Run(5)
@@ -406,7 +406,7 @@ func TestDeterminismSameSeed(t *testing.T) {
 func TestObserverRunsPerEvent(t *testing.T) {
 	a := &echoNode{sendTo: 1, payload: "m", timerIn: 1}
 	b := &echoNode{}
-	net := New([]Handler{a, b}, 1)
+	net := New([]Handler[any]{a, b}, 1)
 	net.AddLink(0, 1, LinkParams{Delay: 0.5})
 	obs := 0
 	net.Observer = func(now Time) { obs++ }
@@ -418,7 +418,7 @@ func TestObserverRunsPerEvent(t *testing.T) {
 }
 
 func TestRunAdvancesClockToHorizon(t *testing.T) {
-	net := New([]Handler{&echoNode{}}, 1)
+	net := New([]Handler[any]{&echoNode{}}, 1)
 	net.Run(42)
 	if net.Now() != 42 {
 		t.Errorf("Now = %v, want 42", net.Now())
@@ -428,9 +428,9 @@ func TestRunAdvancesClockToHorizon(t *testing.T) {
 func TestEventOrderDeterministicTies(t *testing.T) {
 	// Two timers at the same instant fire in scheduling order.
 	var order []int
-	a := &funcNode{start: func(ctx *Context) { ctx.After(1, 0) }, timer: func(ctx *Context, _ int) { order = append(order, ctx.ID()) }}
-	b := &funcNode{start: func(ctx *Context) { ctx.After(1, 0) }, timer: func(ctx *Context, _ int) { order = append(order, ctx.ID()) }}
-	net := New([]Handler{a, b}, 1)
+	a := &funcNode{start: func(ctx *Context[any]) { ctx.After(1, 0) }, timer: func(ctx *Context[any], _ int) { order = append(order, ctx.ID()) }}
+	b := &funcNode{start: func(ctx *Context[any]) { ctx.After(1, 0) }, timer: func(ctx *Context[any], _ int) { order = append(order, ctx.ID()) }}
+	net := New([]Handler[any]{a, b}, 1)
 	net.Run(2)
 	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
 		t.Errorf("tie order = %v", order)
@@ -438,7 +438,7 @@ func TestEventOrderDeterministicTies(t *testing.T) {
 }
 
 func TestBadLinkParamsPanic(t *testing.T) {
-	net := New([]Handler{&echoNode{}, &echoNode{}}, 1)
+	net := New([]Handler[any]{&echoNode{}, &echoNode{}}, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("AddLink accepted LossProb=2")
@@ -448,8 +448,8 @@ func TestBadLinkParamsPanic(t *testing.T) {
 }
 
 func TestNegativeTimerPanics(t *testing.T) {
-	a := &funcNode{start: func(ctx *Context) { ctx.After(-1, 0) }}
-	net := New([]Handler{a}, 1)
+	a := &funcNode{start: func(ctx *Context[any]) { ctx.After(-1, 0) }}
+	net := New([]Handler[any]{a}, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("negative timer accepted")
@@ -459,22 +459,22 @@ func TestNegativeTimerPanics(t *testing.T) {
 }
 
 type funcNode struct {
-	start func(*Context)
-	recv  func(*Context, int, any)
-	timer func(*Context, int)
+	start func(*Context[any])
+	recv  func(*Context[any], int, any)
+	timer func(*Context[any], int)
 }
 
-func (f *funcNode) Start(ctx *Context) {
+func (f *funcNode) Start(ctx *Context[any]) {
 	if f.start != nil {
 		f.start(ctx)
 	}
 }
-func (f *funcNode) Receive(ctx *Context, from int, payload any) {
+func (f *funcNode) Receive(ctx *Context[any], from int, payload any) {
 	if f.recv != nil {
 		f.recv(ctx, from, payload)
 	}
 }
-func (f *funcNode) Timer(ctx *Context, kind int) {
+func (f *funcNode) Timer(ctx *Context[any], kind int) {
 	if f.timer != nil {
 		f.timer(ctx, kind)
 	}
@@ -485,7 +485,7 @@ func TestCorruptionDropMode(t *testing.T) {
 	// model) and still occupy the medium.
 	a := &chattyNode{to: 1, k: 1}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 7)
+	net := New([]Handler[any]{a, b}, 7)
 	net.AddLink(0, 1, LinkParams{Delay: 1, CorruptProb: 1})
 	net.Run(10)
 	if b.got != 0 {
@@ -499,7 +499,7 @@ func TestCorruptionDropMode(t *testing.T) {
 func TestCorruptionHookRewritesPayload(t *testing.T) {
 	a := &echoNode{sendTo: 1, payload: 100}
 	b := &echoNode{}
-	net := New([]Handler{a, b}, 7)
+	net := New([]Handler[any]{a, b}, 7)
 	net.AddLink(0, 1, LinkParams{Delay: 0.1, CorruptProb: 1})
 	net.Corrupt = func(rng *rand.Rand, payload any) any { return payload.(int) + 1 }
 	net.Run(10)
@@ -512,7 +512,7 @@ func TestCorruptionHookRewritesPayload(t *testing.T) {
 }
 
 func TestCorruptProbValidation(t *testing.T) {
-	net := New([]Handler{&echoNode{}, &echoNode{}}, 1)
+	net := New([]Handler[any]{&echoNode{}, &echoNode{}}, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("AddLink accepted CorruptProb=-1")
@@ -522,7 +522,7 @@ func TestCorruptProbValidation(t *testing.T) {
 }
 
 func TestAddNodeAfterStartPanics(t *testing.T) {
-	net := New([]Handler{&echoNode{}}, 1)
+	net := New([]Handler[any]{&echoNode{}}, 1)
 	net.Run(0)
 	defer func() {
 		if recover() == nil {
@@ -535,7 +535,7 @@ func TestAddNodeAfterStartPanics(t *testing.T) {
 func TestLinkOutage(t *testing.T) {
 	a := &chattyNode{to: 1, k: 1}
 	b := &chattyNode{}
-	net := New([]Handler{a, b}, 1)
+	net := New([]Handler[any]{a, b}, 1)
 	net.AddLink(0, 1, LinkParams{Delay: 0.1})
 	net.SetLinkUp(0, 1, false)
 	net.Run(5)
@@ -544,7 +544,7 @@ func TestLinkOutage(t *testing.T) {
 	}
 	// Raise the link again; a fresh sender gets through.
 	net.SetLinkUp(0, 1, true)
-	c2 := &Context{net: net, node: 0}
+	c2 := &Context[any]{net: net, node: 0}
 	if !c2.Send(1, "late") {
 		t.Fatal("send after outage failed")
 	}
@@ -555,7 +555,7 @@ func TestLinkOutage(t *testing.T) {
 }
 
 func TestSetLinkUpUnknownPanics(t *testing.T) {
-	net := New([]Handler{&echoNode{}}, 1)
+	net := New([]Handler[any]{&echoNode{}}, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("SetLinkUp on missing link accepted")

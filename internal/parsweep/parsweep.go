@@ -36,6 +36,19 @@ func Map[R any](n, workers int, f func(i int) R) []R {
 		return out
 	}
 
+	if pv := runWorkers(n, workers, func(w, i int) { out[i] = f(i) }); pv != nil {
+		panic(pv)
+	}
+	return out
+}
+
+// runWorkers executes f(w, i) for every i in [0, n) across `workers`
+// goroutines; w identifies the executing worker (0 ≤ w < workers), which
+// is what lets MapWith pin one pooled resource per worker. The work
+// distribution is the lock-free atomic index grab: one Add per trial.
+// Panics in f are recovered and returned (first one wins) so callers can
+// release worker resources before re-raising.
+func runWorkers(n, workers int, f func(w, i int)) any {
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64 // lock-free work-index grab: one Add per item
@@ -44,7 +57,7 @@ func Map[R any](n, workers int, f func(i int) R) []R {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -61,16 +74,13 @@ func Map[R any](n, workers int, f func(i int) R) []R {
 							panicMu.Unlock()
 						}
 					}()
-					out[i] = f(i)
+					f(w, i)
 				}()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	if panicVal != nil {
-		panic(panicVal)
-	}
-	return out
+	return panicVal
 }
 
 // Sum runs f(i) in parallel and folds the float64 results.

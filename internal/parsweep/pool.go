@@ -1,0 +1,117 @@
+// Worker-scoped resource reuse for sweeps. A sweep over thousands of
+// seeded trials would otherwise grow a fresh event arena (and every
+// other per-trial scratch structure) per trial; MapWith instead hands
+// each worker goroutine one resource for its whole lifetime, so a trial
+// pays a Reset instead of an allocation — the reset-not-reallocate
+// discipline that keeps an N-seed soak bounded by cores, not by the
+// garbage collector.
+package parsweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool hands out worker-scoped resources of type T. New builds a fresh
+// resource the first time a worker asks; Put returns one for reuse by a
+// later sweep. A Pool is safe for concurrent use. Unlike sync.Pool it
+// never drops resources under GC pressure — a sweep's arenas are meant
+// to live exactly as long as the process keeps sweeping.
+type Pool[T any] struct {
+	// New builds a resource when the pool is empty. It must not be nil
+	// by the time Get is called.
+	New func() T
+
+	mu   sync.Mutex
+	idle []T
+}
+
+// NewPool returns a pool building resources with newFn.
+func NewPool[T any](newFn func() T) *Pool[T] {
+	return &Pool[T]{New: newFn}
+}
+
+// Get returns an idle resource or builds a new one.
+func (p *Pool[T]) Get() T {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		t := p.idle[n-1]
+		var zero T
+		p.idle[n-1] = zero
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return t
+	}
+	p.mu.Unlock()
+	return p.New()
+}
+
+// Put returns a resource to the pool for reuse.
+func (p *Pool[T]) Put(t T) {
+	p.mu.Lock()
+	p.idle = append(p.idle, t)
+	p.mu.Unlock()
+}
+
+// Idle reports how many resources sit unused in the pool.
+func (p *Pool[T]) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// MapWith is Map with a worker-scoped resource: each worker goroutine
+// draws one T from pool at start, threads it through every trial it
+// executes (f receives the trial index and the worker's resource), and
+// returns it to the pool when the sweep ends. Consecutive sweeps over
+// the same pool therefore reuse the same resources. Results come back
+// in index order and seeds stay per-trial, so determinism is unaffected
+// by which worker (and which resource) runs which trial — resources
+// must make themselves trial-independent (e.g. arenas are Reset by
+// UseArena). Panics in f propagate to the caller; the panicking
+// worker's resource is still returned to the pool. workers ≤ 0 selects
+// GOMAXPROCS.
+func MapWith[T, R any](n, workers int, pool *Pool[T], f func(i int, res T) R) []R {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial path: one resource for the whole sweep, still recycled.
+		if n > 0 {
+			res := pool.Get()
+			defer pool.Put(res)
+			return Map(n, 1, func(i int) R { return f(i, res) })
+		}
+		return Map(n, 1, func(i int) R { var zero R; return zero })
+	}
+	// Per-worker resource acquisition rides on Map's scheduling: the
+	// worker grabs its T lazily on its first trial, keyed by goroutine
+	// via a local closure — but Map hides its goroutines, so instead run
+	// the workers here with the same lock-free index grab.
+	type slot struct {
+		res T
+		ok  bool
+	}
+	slots := make([]slot, workers)
+	out := make([]R, n)
+	pv := runWorkers(n, workers, func(w, i int) {
+		s := &slots[w]
+		if !s.ok {
+			s.res = pool.Get()
+			s.ok = true
+		}
+		out[i] = f(i, s.res)
+	})
+	for w := range slots {
+		if slots[w].ok {
+			pool.Put(slots[w].res)
+		}
+	}
+	if pv != nil {
+		panic(pv)
+	}
+	return out
+}

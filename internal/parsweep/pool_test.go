@@ -1,0 +1,126 @@
+package parsweep
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// scratch is a stand-in for a per-worker arena: it records which trials
+// touched it and fails loudly if two trials hold it concurrently.
+type scratch struct {
+	id     int
+	trials []int
+	inUse  atomic.Bool
+}
+
+func TestMapWithResultsInOrder(t *testing.T) {
+	var built atomic.Int64
+	pool := NewPool(func() *scratch {
+		return &scratch{id: int(built.Add(1))}
+	})
+	out := MapWith(100, 8, pool, func(i int, s *scratch) int {
+		if !s.inUse.CompareAndSwap(false, true) {
+			t.Error("resource shared by two concurrent trials")
+		}
+		s.trials = append(s.trials, i)
+		s.inUse.Store(false)
+		return i * i
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if b := built.Load(); b > 8 {
+		t.Fatalf("built %d resources for 8 workers", b)
+	}
+	if pool.Idle() != int(built.Load()) {
+		t.Fatalf("%d resources built but %d returned", built.Load(), pool.Idle())
+	}
+}
+
+func TestMapWithReusesAcrossSweeps(t *testing.T) {
+	var built atomic.Int64
+	pool := NewPool(func() *scratch { return &scratch{id: int(built.Add(1))} })
+	for sweep := 0; sweep < 5; sweep++ {
+		MapWith(50, 4, pool, func(i int, s *scratch) int { return i })
+	}
+	if b := built.Load(); b > 4 {
+		t.Fatalf("5 consecutive 4-worker sweeps built %d resources, want ≤ 4", b)
+	}
+}
+
+func TestMapWithSerialPath(t *testing.T) {
+	var built atomic.Int64
+	pool := NewPool(func() *scratch { return &scratch{id: int(built.Add(1))} })
+	out := MapWith(10, 1, pool, func(i int, s *scratch) int {
+		s.trials = append(s.trials, i)
+		return i
+	})
+	if len(out) != 10 || built.Load() != 1 {
+		t.Fatalf("serial sweep: %d results, %d resources", len(out), built.Load())
+	}
+	if pool.Idle() != 1 {
+		t.Fatalf("serial sweep leaked its resource (idle=%d)", pool.Idle())
+	}
+}
+
+func TestMapWithZeroTrials(t *testing.T) {
+	pool := NewPool(func() *scratch { return &scratch{} })
+	out := MapWith(0, 4, pool, func(i int, s *scratch) int { return i })
+	if len(out) != 0 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if pool.Idle() != 0 {
+		t.Fatal("zero-trial sweep acquired a resource")
+	}
+}
+
+func TestMapWithPanicPropagatesAndReturnsResources(t *testing.T) {
+	var built atomic.Int64
+	pool := NewPool(func() *scratch { return &scratch{id: int(built.Add(1))} })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "trial 7 panicked") {
+			t.Fatalf("panic = %v", r)
+		}
+		if pool.Idle() != int(built.Load()) {
+			t.Fatalf("panicking sweep leaked resources: built %d, idle %d",
+				built.Load(), pool.Idle())
+		}
+	}()
+	MapWith(20, 4, pool, func(i int, s *scratch) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+// TestPoolConcurrentGetPut hammers the pool from many goroutines — the
+// -race entry for the worker pool (make test-race-core covers this
+// package).
+func TestPoolConcurrentGetPut(t *testing.T) {
+	pool := NewPool(func() *scratch { return &scratch{} })
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				s := pool.Get()
+				if !s.inUse.CompareAndSwap(false, true) {
+					t.Error("pool handed one resource to two holders")
+				}
+				s.inUse.Store(false)
+				pool.Put(s)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -283,7 +283,7 @@ func runGeneric[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (
 		RandomState:    b.draw,
 	})
 	if link.CorruptProb > 0 {
-		ring.Net.Corrupt = func(rng *rand.Rand, payload any) any { return b.draw(rng) }
+		ring.Net.Corrupt = func(rng *rand.Rand, payload S) S { return b.draw(rng) }
 	}
 
 	var tl verify.Timeline

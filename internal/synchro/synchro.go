@@ -111,18 +111,15 @@ func (nd *Node[S]) SeedLatest(pred, succ S) {
 }
 
 // Start implements msgnet.Handler.
-func (nd *Node[S]) Start(ctx *msgnet.Context) {
+func (nd *Node[S]) Start(ctx *msgnet.Context[packet[S]]) {
 	nd.broadcast(ctx)
 	phase := msgnet.Time(ctx.Rand().Float64()) * nd.refresh
 	ctx.After(phase, timerResend)
 }
 
-// Receive implements msgnet.Handler.
-func (nd *Node[S]) Receive(ctx *msgnet.Context, from int, payload any) {
-	p, ok := payload.(packet[S])
-	if !ok {
-		panic(fmt.Sprintf("synchro: node %d received %T", nd.id, payload))
-	}
+// Receive implements msgnet.Handler. The packet arrives as the
+// network's concrete frame type — no boxing, no type assertion.
+func (nd *Node[S]) Receive(ctx *msgnet.Context[packet[S]], from int, p packet[S]) {
 	if from != nd.pred() && from != nd.succ() {
 		panic(fmt.Sprintf("synchro: node %d received from non-neighbor %d", nd.id, from))
 	}
@@ -139,7 +136,7 @@ func (nd *Node[S]) Receive(ctx *msgnet.Context, from int, payload any) {
 
 // Timer implements msgnet.Handler: retransmit the current round packet so
 // that rounds complete under loss and link back-pressure.
-func (nd *Node[S]) Timer(ctx *msgnet.Context, kind int) {
+func (nd *Node[S]) Timer(ctx *msgnet.Context[packet[S]], kind int) {
 	if kind != timerResend {
 		return
 	}
@@ -162,7 +159,7 @@ func (nd *Node[S]) note(from, round int, s S) {
 }
 
 // advance completes as many rounds as the collected neighbor states allow.
-func (nd *Node[S]) advance(ctx *msgnet.Context) {
+func (nd *Node[S]) advance(ctx *msgnet.Context[packet[S]]) {
 	for {
 		ps, okP := nd.roundState[nd.pred()][nd.round]
 		ss, okS := nd.roundState[nd.succ()][nd.round]
@@ -183,7 +180,7 @@ func (nd *Node[S]) advance(ctx *msgnet.Context) {
 	}
 }
 
-func (nd *Node[S]) broadcast(ctx *msgnet.Context) {
+func (nd *Node[S]) broadcast(ctx *msgnet.Context[packet[S]]) {
 	p := packet[S]{Round: nd.round, State: nd.state, Prev: nd.prev}
 	ctx.Send(nd.pred(), p)
 	ctx.Send(nd.succ(), p)
@@ -191,8 +188,9 @@ func (nd *Node[S]) broadcast(ctx *msgnet.Context) {
 
 // Ring wires synchronized nodes over an msgnet simulation.
 type Ring[S comparable] struct {
-	// Net is the underlying event simulation.
-	Net *msgnet.Network
+	// Net is the underlying event simulation; its frame type is the
+	// round packet.
+	Net *msgnet.Network[packet[S]]
 	// Nodes holds the synchronized nodes by process id.
 	Nodes []*Node[S]
 }
@@ -205,7 +203,7 @@ func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S
 		panic(fmt.Sprintf("synchro: init length %d != n %d", len(init), n))
 	}
 	nodes := make([]*Node[S], n)
-	handlers := make([]msgnet.Handler, n)
+	handlers := make([]msgnet.Handler[packet[S]], n)
 	for i := 0; i < n; i++ {
 		nodes[i] = NewNode[S](alg, i, init[i], refresh)
 		handlers[i] = nodes[i]

@@ -32,15 +32,20 @@ type annotation struct {
 // NewSpaceTime creates a collector for n nodes.
 func NewSpaceTime(n int) *SpaceTime { return &SpaceTime{n: n} }
 
-// Attach registers the collector as the network's tap. It overwrites any
-// existing tap.
-func (st *SpaceTime) Attach(net *msgnet.Network) {
-	net.Tap = func(e msgnet.TapEvent) {
-		if st.Limit > 0 && len(st.events) >= st.Limit {
-			return
-		}
-		st.events = append(st.events, e)
+// Attach registers the collector as net's tap. It overwrites any
+// existing tap. It is a free function rather than a SpaceTime method
+// because Go methods cannot introduce the network's frame type parameter;
+// the collector itself never looks at payloads.
+func Attach[P any](st *SpaceTime, net *msgnet.Network[P]) {
+	net.Tap = st.Tap
+}
+
+// Tap consumes one network tap event; Attach installs it.
+func (st *SpaceTime) Tap(e msgnet.TapEvent) {
+	if st.Limit > 0 && len(st.events) >= st.Limit {
+		return
 	}
+	st.events = append(st.events, e)
 }
 
 // Annotate adds a custom label (e.g. "R2") to a node's lane at time t.

@@ -18,7 +18,7 @@ func TestSpaceTimeCapturesAndRenders(t *testing.T) {
 		CoherentCaches: true,
 	})
 	st := NewSpaceTime(3)
-	st.Attach(r.Net)
+	Attach(st, r.Net)
 	for i, nd := range r.Nodes {
 		id := i
 		nd.OnExecute = func(now msgnet.Time, rule int) {
@@ -52,7 +52,7 @@ func TestSpaceTimeLimit(t *testing.T) {
 	})
 	st := NewSpaceTime(3)
 	st.Limit = 10
-	st.Attach(r.Net)
+	Attach(st, r.Net)
 	r.Net.Run(5)
 	if st.Events() != 10 {
 		t.Fatalf("limit not enforced: %d events", st.Events())
@@ -65,7 +65,7 @@ func TestSpaceTimeLossMarks(t *testing.T) {
 		Link: msgnet.LinkParams{Delay: 0.01, LossProb: 0.5}, Refresh: 0.05, Seed: 2, CoherentCaches: true,
 	})
 	st := NewSpaceTime(3)
-	st.Attach(r.Net)
+	Attach(st, r.Net)
 	r.Net.Run(0.5)
 	var b strings.Builder
 	if err := st.Render(&b); err != nil {
