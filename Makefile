@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-race test-race-core test-short cover bench \
-        bench-check bench-obs bench-msgnet bench-smoke experiments \
+        bench-check bench-obs bench-msgnet bench-runtime bench-smoke experiments \
         experiments-quick modelcheck modelcheck-n5 examples fmt vet lint \
         fuzz-short soak-short clean
 
@@ -56,6 +56,14 @@ bench-msgnet:
 	$(GO) test -run '^$$' -bench 'MsgnetStorm' -benchmem -count 3 . \
 	  | $(GO) run ./cmd/benchjson -o BENCH_msgnet.json
 
+# Record the sharded event-loop runtime: virtual-time engine throughput at
+# n=10k and n=100k vs the wall-clock goroutine-per-node legacy ring at
+# n=10k, in BENCH_runtime.json. The acceptance bar is >= 100k nodes
+# sustained and >= 5x the legacy events/s at n=10k.
+bench-runtime:
+	$(GO) test -run '^$$' -bench 'RuntimeEngine' -benchmem -count 3 . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_runtime.json
+
 # CI guard against silent perf rot: re-run the tracked benchmarks
 # briefly (-benchtime 20x keeps the whole sweep under a second) and
 # compare ns/op against the committed records. Shared-runner noise is
@@ -67,6 +75,10 @@ bench-smoke:
 	  | $(GO) run ./cmd/benchjson -o /tmp/bench_msgnet_smoke.json
 	$(GO) run ./cmd/benchjson -compare -max-regress 400 \
 	  BENCH_msgnet.json /tmp/bench_msgnet_smoke.json
+	$(GO) test -run '^$$' -bench 'RuntimeEngine' -benchmem -benchtime 3x . \
+	  | $(GO) run ./cmd/benchjson -o /tmp/bench_runtime_smoke.json
+	$(GO) run ./cmd/benchjson -compare -max-regress 400 \
+	  BENCH_runtime.json /tmp/bench_runtime_smoke.json
 
 # Regenerate every paper artifact + extension ablations (see EXPERIMENTS.md).
 experiments:

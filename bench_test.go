@@ -21,6 +21,8 @@ package ssrmin
 //	BenchmarkComposed           [9]:      (m,2m)-CS composition step cost
 //	BenchmarkParallelSweep      harness:  parallel vs sequential sweeps
 //	BenchmarkLiveRing           §5:       live goroutine ring throughput
+//	BenchmarkRuntimeEngine      §5:       sharded event-loop engine vs the
+//	                                      goroutine-per-node legacy runtime
 
 import (
 	"fmt"
@@ -36,6 +38,7 @@ import (
 	"ssrmin/internal/dijkstra"
 	"ssrmin/internal/msgnet"
 	"ssrmin/internal/parsweep"
+	"ssrmin/internal/runtime"
 	"ssrmin/internal/statemodel"
 	"ssrmin/internal/synchro"
 )
@@ -118,7 +121,7 @@ func BenchmarkMPGracefulHandover(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			zeroTime, msgs, advances := 0.0, 0, 0
 			for i := 0; i < b.N; i++ {
-				m := NewMPSimulation(n, MPOptions{Seed: int64(i + 1)})
+				m := NewMPSimulation(n, WithSeed(int64(i+1)))
 				m.Run(10)
 				tl := m.Timeline()
 				zeroTime += tl.Duration(0)
@@ -402,12 +405,13 @@ func BenchmarkParallelSweepContention(b *testing.B) {
 // goroutine deployment (short windows; dominated by the configured link
 // delay, as it should be).
 func BenchmarkLiveRing(b *testing.B) {
-	ring := NewLiveRing(5, LiveOptions{
-		Delay:   200 * time.Microsecond,
-		Jitter:  50 * time.Microsecond,
-		Refresh: time.Millisecond,
-		Seed:    1,
-	})
+	ring := NewLiveRing(5,
+		WithDelay(200*time.Microsecond),
+		WithJitter(50*time.Microsecond),
+		WithRefresh(time.Millisecond),
+		WithSeed(1),
+		WithLegacyRuntime(),
+	)
 	ring.Start()
 	defer ring.Stop()
 	b.ResetTimer()
@@ -417,4 +421,51 @@ func BenchmarkLiveRing(b *testing.B) {
 	}
 	execs := ring.RuleExecutions() - start
 	b.ReportMetric(float64(execs)/float64(b.N), "rules/ms")
+}
+
+// BenchmarkRuntimeEngine measures sustained event throughput of the
+// sharded virtual-time engine at scale, against the goroutine-per-node
+// legacy runtime at n=10k. The engine advances unscaled virtual time, so
+// its events/s is bounded by dispatch cost; the legacy ring is paced by
+// real link delays, which is exactly the gap the engine exists to close.
+func BenchmarkRuntimeEngine(b *testing.B) {
+	ropts := runtime.Options[core.State]{
+		Delay:          10 * time.Millisecond,
+		Jitter:         2 * time.Millisecond,
+		Refresh:        50 * time.Millisecond,
+		Seed:           1,
+		CoherentCaches: true,
+	}
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			alg := core.New(n, n+1)
+			eng := runtime.NewEngine[core.State](alg, alg.InitialLegitimate(), ropts)
+			b.ResetTimer()
+			start := eng.Stats().Events
+			for i := 0; i < b.N; i++ {
+				eng.RunUntil(eng.Now() + 0.05)
+			}
+			events := eng.Stats().Events - start
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(n), "nodes/ring")
+		})
+	}
+	b.Run("legacy/n=10000", func(b *testing.B) {
+		const n = 10000
+		alg := core.New(n, n+1)
+		ring := runtime.NewRing[core.State](alg, alg.InitialLegitimate(), ropts)
+		ring.Start()
+		defer ring.Stop()
+		b.ResetTimer()
+		rules := ring.RuleExecutions()
+		carried, _ := ring.LinkStats()
+		for i := 0; i < b.N; i++ {
+			time.Sleep(50 * time.Millisecond)
+		}
+		dr := ring.RuleExecutions() - rules
+		dc, _ := ring.LinkStats()
+		events := dr + (dc - carried)
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(float64(n), "nodes/ring")
+	})
 }

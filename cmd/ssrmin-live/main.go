@@ -27,6 +27,7 @@ func main() {
 	var cc cliconf.Config
 	cc.BindRing(flag.CommandLine, 8)
 	cc.BindRandom(flag.CommandLine, 0)
+	cc.BindRuntime(flag.CommandLine)
 	var (
 		algF    = flag.String("alg", "ssrmin", "algorithm: ssrmin | sstoken")
 		seconds = flag.Float64("seconds", 5, "wall-clock seconds to animate")
@@ -61,6 +62,10 @@ func main() {
 			ssrmin.WithJitter(500 * time.Microsecond),
 			ssrmin.WithRefresh(8 * time.Millisecond),
 			ssrmin.WithSeed(cc.Seed),
+			ssrmin.WithWorkers(cc.Workers),
+		}
+		if cc.LegacyRuntime {
+			opts = append(opts, ssrmin.WithLegacyRuntime())
 		}
 		if observer != nil {
 			opts = append(opts, ssrmin.WithObserver(observer))
@@ -70,19 +75,31 @@ func main() {
 		holders, stop = ring.Holders, ring.Stop
 	case "sstoken":
 		alg := dijkstra.New(cc.N, cc.K)
-		ring := runtime.NewRing[dijkstra.State](alg, alg.InitialLegitimate(), runtime.Options[dijkstra.State]{
+		ropts := runtime.Options[dijkstra.State]{
 			Delay:          2 * time.Millisecond,
 			Jitter:         500 * time.Microsecond,
 			Refresh:        8 * time.Millisecond,
 			Seed:           cc.Seed,
 			CoherentCaches: true,
-		})
-		if observer != nil {
-			ring.SetObserver(observer, dijkstra.HasToken)
+			Workers:        cc.Workers,
 		}
-		ring.Start()
-		holders = func() []int { return ring.Holders(dijkstra.HasToken) }
-		stop = ring.Stop
+		if cc.LegacyRuntime {
+			ring := runtime.NewRing[dijkstra.State](alg, alg.InitialLegitimate(), ropts)
+			if observer != nil {
+				ring.SetObserver(observer, dijkstra.HasToken)
+			}
+			ring.Start()
+			holders = func() []int { return ring.Holders(dijkstra.HasToken) }
+			stop = ring.Stop
+		} else {
+			eng := runtime.NewEngine[dijkstra.State](alg, alg.InitialLegitimate(), ropts)
+			if observer != nil {
+				eng.SetObserver(observer, dijkstra.HasToken)
+			}
+			eng.Start()
+			holders = func() []int { return eng.Holders(dijkstra.HasToken) }
+			stop = eng.Stop
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algF)
 		os.Exit(2)

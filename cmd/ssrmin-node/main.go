@@ -14,6 +14,13 @@
 // Each node logs its privilege transitions; kill and restart any node and
 // watch the ring heal. With -metrics each node additionally serves its
 // counters on /metrics and /debug/vars.
+//
+// With -local the command instead deploys the WHOLE ring in one process
+// on the live runtime (the sharded event engine by default; see
+// -workers / -legacy-runtime) — useful for smoke-testing a deployment
+// size before spreading it across machines:
+//
+//	ssrmin-node -local -n 100000 -seconds 5
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"ssrmin"
 	"ssrmin/internal/cliconf"
 	"ssrmin/internal/core"
 	"ssrmin/internal/netring"
@@ -35,6 +43,7 @@ import (
 func main() {
 	var cc cliconf.Config
 	cc.BindRing(flag.CommandLine, 0)
+	cc.BindRuntime(flag.CommandLine)
 	var (
 		id      = flag.Int("id", -1, "this node's ring index (0..n-1)")
 		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000")
@@ -43,8 +52,13 @@ func main() {
 		refresh = flag.Duration("refresh", 50*time.Millisecond, "announcement refresh interval")
 		seconds = flag.Float64("seconds", 0, "exit after this many seconds (0 = run until signal)")
 		metrics = flag.String("metrics", "", "serve /metrics and /debug/vars on this address")
+		local   = flag.Bool("local", false, "run the whole n-node ring in this process on the live runtime")
 	)
 	flag.Parse()
+
+	if *local {
+		os.Exit(runLocal(&cc, *seconds, *metrics))
+	}
 
 	if *id < 0 || cc.N < 3 || *listen == "" || *pred == "" || *succ == "" {
 		fmt.Fprintln(os.Stderr, "required: -id -n -listen -pred -succ (see -h)")
@@ -99,6 +113,62 @@ func main() {
 		deadline = time.After(time.Duration(*seconds * float64(time.Second)))
 	}
 
+	logTransitions(node, *id, observer, start, stop, deadline)
+}
+
+// runLocal deploys the whole ring in-process through the unified Option
+// API — the sharded engine by default, the goroutine ring behind
+// -legacy-runtime — and reports the census band it sustained.
+func runLocal(cc *cliconf.Config, seconds float64, metrics string) int {
+	if cc.N < 3 {
+		fmt.Fprintln(os.Stderr, "required: -n ≥ 3 with -local (see -h)")
+		return 2
+	}
+	cc.ResolveK()
+	if seconds <= 0 {
+		seconds = 5
+	}
+	opts := []ssrmin.Option{
+		ssrmin.WithK(cc.K),
+		ssrmin.WithSeed(cc.Seed),
+		ssrmin.WithWorkers(cc.Workers),
+	}
+	if cc.LegacyRuntime {
+		opts = append(opts, ssrmin.WithLegacyRuntime())
+	}
+	var observer *obs.Observer
+	if metrics != "" {
+		observer = obs.New(nil)
+		bound, shutdown, err := obs.Serve(metrics, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer shutdown()
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+		opts = append(opts, ssrmin.WithObserver(observer))
+	}
+	ring := ssrmin.NewLiveRing(cc.N, opts...)
+	backend := "sharded engine"
+	if cc.LegacyRuntime {
+		backend = "goroutine ring"
+	}
+	fmt.Printf("local ring: n=%d on the %s for %.1fs\n", cc.N, backend, seconds)
+	ring.Start()
+	defer ring.Stop()
+	stats := ring.WatchCensus(time.Duration(seconds*float64(time.Second)), 5*time.Millisecond)
+	fmt.Printf("census over %d samples: min=%d max=%d, %d distinct holders, %d rule executions\n",
+		stats.Samples, stats.Min, stats.Max, stats.DistinctHolders, ring.RuleExecutions())
+	if stats.Min < 1 || stats.Max > 2 {
+		fmt.Println("census left the [1,2] band — see Theorem 3")
+		return 1
+	}
+	return 0
+}
+
+// logTransitions watches one TCP node's privilege edges until a signal
+// or the deadline fires.
+func logTransitions(node *netring.Node, id int, observer *obs.Observer, start time.Time, stop chan os.Signal, deadline <-chan time.Time) {
 	// Log privilege transitions (and, with -metrics, feed the observer:
 	// handover events from privilege edges, rule counters by delta).
 	tick := time.NewTicker(5 * time.Millisecond)
@@ -108,10 +178,10 @@ func main() {
 	for {
 		select {
 		case <-stop:
-			fmt.Printf("node %d: shutting down (%d rule executions)\n", *id, node.RuleExecutions())
+			fmt.Printf("node %d: shutting down (%d rule executions)\n", id, node.RuleExecutions())
 			return
 		case <-deadline:
-			fmt.Printf("node %d: done (%d rule executions)\n", *id, node.RuleExecutions())
+			fmt.Printf("node %d: done (%d rule executions)\n", id, node.RuleExecutions())
 			return
 		case <-tick.C:
 			if observer != nil {
@@ -125,13 +195,13 @@ func main() {
 			if p != wasPrivileged {
 				wasPrivileged = p
 				if observer != nil {
-					observer.Handover(time.Since(start).Seconds(), *id, p)
+					observer.Handover(time.Since(start).Seconds(), id, p)
 				}
 				state, _, _ := node.Snapshot()
 				if p {
-					fmt.Printf("node %d: PRIVILEGED  (state %v)\n", *id, state)
+					fmt.Printf("node %d: PRIVILEGED  (state %v)\n", id, state)
 				} else {
-					fmt.Printf("node %d: idle        (state %v)\n", *id, state)
+					fmt.Printf("node %d: idle        (state %v)\n", id, state)
 				}
 			}
 		}

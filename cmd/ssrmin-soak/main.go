@@ -37,30 +37,32 @@ func run(args []string, out, errw *os.File) int {
 	fs := flag.NewFlagSet("ssrmin-soak", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		seeds      = fs.Int("seeds", 20, "number of consecutive seeds to sweep")
-		baseSeed   = fs.Int64("seed", 1, "first seed of the sweep")
-		name       = fs.String("name", "soak", "scenario name prefix")
-		n          = fs.Int("n", 5, "ring size")
-		k          = fs.Int("k", 0, "K counter space (0: n+1)")
-		horizon    = fs.Float64("horizon", 20, "simulated horizon in seconds")
-		steps      = fs.Int("steps", 0, "state-engine step budget (0: 2x the paper bound)")
-		daemonKind = fs.String("daemon", "central-random", "state-engine daemon: central-random, synchronous, distributed")
-		delay      = fs.Float64("delay", 0.01, "link delay (s)")
-		jitter     = fs.Float64("jitter", 0.002, "link jitter (s)")
-		loss       = fs.Float64("loss", 0, "per-frame loss probability")
-		dup        = fs.Float64("dup", 0, "per-frame duplication probability (msgnet)")
-		corrupt    = fs.Float64("corrupt", 0, "per-frame corruption probability (msgnet)")
-		refresh    = fs.Float64("refresh", 0, "CST refresh period (0: 5x delay)")
-		settle     = fs.Float64("settle", 0, "census settle window after perturbations (0: horizon/2)")
-		random     = fs.Bool("random", false, "start from a seeded arbitrary configuration")
-		incoherent = fs.Bool("incoherent", false, "start with incoherent neighbor caches")
-		storm      = fs.Bool("storm", false, "inject a canned mid-run fault storm (states + caches)")
-		engines    = fs.String("engines", "state,msgnet,live", "comma-separated engine list")
-		liveScale  = fs.Float64("live-scale", 0.01, "wall seconds per simulated second in the live engine")
-		workers    = fs.Int("workers", 0, "parallel trials (0: GOMAXPROCS; live engine timing prefers 1)")
-		shrink     = fs.Bool("shrink", true, "shrink violating scenarios and write repro fixtures")
-		reproDir   = fs.String("repro-dir", "testdata/repros", "directory for repro fixtures")
-		verbose    = fs.Bool("v", false, "print one line per seed")
+		seeds       = fs.Int("seeds", 20, "number of consecutive seeds to sweep")
+		baseSeed    = fs.Int64("seed", 1, "first seed of the sweep")
+		name        = fs.String("name", "soak", "scenario name prefix")
+		n           = fs.Int("n", 5, "ring size")
+		k           = fs.Int("k", 0, "K counter space (0: n+1)")
+		horizon     = fs.Float64("horizon", 20, "simulated horizon in seconds")
+		steps       = fs.Int("steps", 0, "state-engine step budget (0: 2x the paper bound)")
+		daemonKind  = fs.String("daemon", "central-random", "state-engine daemon: central-random, synchronous, distributed")
+		delay       = fs.Float64("delay", 0.01, "link delay (s)")
+		jitter      = fs.Float64("jitter", 0.002, "link jitter (s)")
+		loss        = fs.Float64("loss", 0, "per-frame loss probability")
+		dup         = fs.Float64("dup", 0, "per-frame duplication probability (msgnet)")
+		corrupt     = fs.Float64("corrupt", 0, "per-frame corruption probability (msgnet)")
+		refresh     = fs.Float64("refresh", 0, "CST refresh period (0: 5x delay)")
+		settle      = fs.Float64("settle", 0, "census settle window after perturbations (0: horizon/2)")
+		random      = fs.Bool("random", false, "start from a seeded arbitrary configuration")
+		incoherent  = fs.Bool("incoherent", false, "start with incoherent neighbor caches")
+		storm       = fs.Bool("storm", false, "inject a canned mid-run fault storm (states + caches)")
+		engines     = fs.String("engines", "state,msgnet,live", "comma-separated engine list")
+		liveScale   = fs.Float64("live-scale", 0.01, "wall seconds per simulated second in the legacy live backend")
+		liveWorkers = fs.Int("live-workers", 0, "sharded live engine worker loops (0: GOMAXPROCS)")
+		liveLegacy  = fs.Bool("live-legacy", false, "run the live tier on the goroutine-per-node backend")
+		workers     = fs.Int("workers", 0, "parallel trials (0: GOMAXPROCS; live engine timing prefers 1)")
+		shrink      = fs.Bool("shrink", true, "shrink violating scenarios and write repro fixtures")
+		reproDir    = fs.String("repro-dir", "testdata/repros", "directory for repro fixtures")
+		verbose     = fs.Bool("v", false, "print one line per seed")
 	)
 	var prof cliconf.Profile
 	prof.Bind(fs)
@@ -90,6 +92,8 @@ func run(args []string, out, errw *os.File) int {
 		IncoherentCaches: *incoherent,
 		Settle:           *settle,
 		LiveScale:        *liveScale,
+		LiveWorkers:      *liveWorkers,
+		LiveLegacy:       *liveLegacy,
 	}
 	for _, e := range strings.Split(*engines, ",") {
 		if e = strings.TrimSpace(e); e != "" {

@@ -44,7 +44,7 @@ func ExampleSimulation_RunUntilLegitimate() {
 // The message-passing model: the census never leaves {1, 2} — the model
 // gap tolerance of Theorem 3.
 func ExampleNewMPSimulation() {
-	mp := ssrmin.NewMPSimulation(5, ssrmin.MPOptions{Seed: 1})
+	mp := ssrmin.NewMPSimulation(5, ssrmin.WithSeed(1))
 	mp.Run(10)
 	tl := mp.Timeline()
 	fmt.Println(tl.MinCount(), tl.MaxCount(), tl.Duration(0))

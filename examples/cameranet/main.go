@@ -30,12 +30,12 @@ func main() {
 
 	fmt.Printf("deploying %d camera stations on a bidirectional ring...\n", *stations)
 
-	ring := ssrmin.NewLiveRing(*stations, ssrmin.LiveOptions{
-		Delay:   time.Millisecond,
-		Jitter:  300 * time.Microsecond,
-		Refresh: 4 * time.Millisecond,
-		Seed:    time.Now().UnixNano(),
-	})
+	ring := ssrmin.NewLiveRing(*stations,
+		ssrmin.WithDelay(time.Millisecond),
+		ssrmin.WithJitter(300*time.Microsecond),
+		ssrmin.WithRefresh(4*time.Millisecond),
+		ssrmin.WithSeed(time.Now().UnixNano()),
+	)
 
 	tracker := inclusion.NewTracker(*stations)
 	start := time.Now()

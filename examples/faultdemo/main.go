@@ -26,7 +26,7 @@ func main() {
 	flag.Parse()
 
 	const n, k = 6, 8
-	m := ssrmin.NewMPSimulation(n, ssrmin.MPOptions{K: k, Seed: *seed})
+	m := ssrmin.NewMPSimulation(n, ssrmin.WithK(k), ssrmin.WithSeed(*seed))
 	inj := fault.NewInjector(*seed)
 	draw := func(rng *rand.Rand) core.State {
 		return core.State{X: rng.Intn(k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}

@@ -42,12 +42,12 @@ func main() {
 	report(dstats)
 
 	// --- graceful: SSRmin ---
-	ring := ssrmin.NewLiveRing(n, ssrmin.LiveOptions{
-		Delay:   time.Millisecond,
-		Jitter:  300 * time.Microsecond,
-		Refresh: 4 * time.Millisecond,
-		Seed:    1,
-	})
+	ring := ssrmin.NewLiveRing(n,
+		ssrmin.WithDelay(time.Millisecond),
+		ssrmin.WithJitter(300*time.Microsecond),
+		ssrmin.WithRefresh(4*time.Millisecond),
+		ssrmin.WithSeed(1),
+	)
 	ring.Start()
 	stats := ring.WatchCensus(window, 100*time.Microsecond)
 	ring.Stop()

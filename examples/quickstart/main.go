@@ -51,7 +51,7 @@ func main() {
 	// 3. The same algorithm in the message-passing model: the census
 	//    stays within 1..2 at every instant (model gap tolerance).
 	fmt.Println("\n=== Message-passing model (CST transform) ===")
-	mp := ssrmin.NewMPSimulation(5, ssrmin.MPOptions{Seed: 1})
+	mp := ssrmin.NewMPSimulation(5, ssrmin.WithSeed(1))
 	mp.Run(10)
 	tl := mp.Timeline()
 	fmt.Printf("simulated 10s with 10ms link delay: census range [%d, %d]\n",

@@ -32,7 +32,7 @@ func TestJourneyStateReadingToMessagePassing(t *testing.T) {
 	}
 	legit := sim.Config()
 
-	mp := ssrmin.NewMPSimulation(6, ssrmin.MPOptions{K: 7, Seed: 3, Initial: legit})
+	mp := ssrmin.NewMPSimulation(6, ssrmin.WithK(7), ssrmin.WithSeed(3), ssrmin.WithInitial(legit))
 	mp.Run(10)
 	tl := mp.Timeline()
 	if tl.MinCount() < 1 || tl.MaxCount() > 2 {
@@ -47,18 +47,20 @@ func TestJourneyStateReadingToMessagePassing(t *testing.T) {
 func TestJourneyMPToLive(t *testing.T) {
 	alg := ssrmin.New(5, 6)
 	rng := rand.New(rand.NewSource(5))
-	mp := ssrmin.NewMPSimulation(5, ssrmin.MPOptions{
-		Seed: 4, Initial: ssrmin.RandomConfig(alg, rng), IncoherentCaches: true,
-	})
+	mp := ssrmin.NewMPSimulation(5,
+		ssrmin.WithSeed(4),
+		ssrmin.WithInitial(ssrmin.RandomConfig(alg, rng)),
+		ssrmin.WithIncoherentCaches(),
+	)
 	mp.Run(30)
 	settled := mp.States()
 
-	live := ssrmin.NewLiveRing(5, ssrmin.LiveOptions{
-		Delay:   300 * time.Microsecond,
-		Refresh: 2 * time.Millisecond,
-		Seed:    6,
-		Initial: settled,
-	})
+	live := ssrmin.NewLiveRing(5,
+		ssrmin.WithDelay(300*time.Microsecond),
+		ssrmin.WithRefresh(2*time.Millisecond),
+		ssrmin.WithSeed(6),
+		ssrmin.WithInitial(settled),
+	)
 	live.Start()
 	defer live.Stop()
 	stats := live.WatchCensus(200*time.Millisecond, 100*time.Microsecond)
@@ -85,7 +87,7 @@ func TestAllVehiclesHoldInvariantConcurrently(t *testing.T) {
 		done <- nil
 	}()
 	go func() {
-		mp := ssrmin.NewMPSimulation(5, ssrmin.MPOptions{Seed: 8})
+		mp := ssrmin.NewMPSimulation(5, ssrmin.WithSeed(8))
 		mp.Run(5)
 		tl := mp.Timeline()
 		if tl.MinCount() < 1 || tl.MaxCount() > 2 {
@@ -95,9 +97,11 @@ func TestAllVehiclesHoldInvariantConcurrently(t *testing.T) {
 		done <- nil
 	}()
 	go func() {
-		live := ssrmin.NewLiveRing(5, ssrmin.LiveOptions{
-			Delay: 300 * time.Microsecond, Refresh: 2 * time.Millisecond, Seed: 9,
-		})
+		live := ssrmin.NewLiveRing(5,
+			ssrmin.WithDelay(300*time.Microsecond),
+			ssrmin.WithRefresh(2*time.Millisecond),
+			ssrmin.WithSeed(9),
+		)
 		live.Start()
 		defer live.Stop()
 		stats := live.WatchCensus(150*time.Millisecond, 100*time.Microsecond)

@@ -95,6 +95,9 @@ type Config struct {
 
 	Seed   int64
 	Random bool
+
+	Workers       int
+	LegacyRuntime bool
 }
 
 // BindRing registers -n (default defN) and -k.
@@ -126,6 +129,16 @@ func (c *Config) BindRandom(fs *flag.FlagSet, defSeed int64) {
 	fs.Int64Var(&c.Seed, "seed", defSeed, "random seed")
 	fs.BoolVar(&c.Random, "random", false,
 		"start from a random configuration instead of the legitimate one")
+}
+
+// BindRuntime registers -workers and -legacy-runtime, the live tier's
+// backend selection shared by ssrmin-live, ssrmin-node and the soak
+// harness.
+func (c *Config) BindRuntime(fs *flag.FlagSet) {
+	fs.IntVar(&c.Workers, "workers", 0,
+		"sharded engine worker loops (0 = GOMAXPROCS, clamped to ring size)")
+	fs.BoolVar(&c.LegacyRuntime, "legacy-runtime", false,
+		"use the goroutine-per-node live runtime instead of the sharded engine")
 }
 
 // ResolveK applies the K default (n+1) and returns the result.

@@ -107,8 +107,17 @@ type Scenario struct {
 	// Engines selects the tiers to run (default all three).
 	Engines []string `json:"engines,omitempty"`
 	// LiveScale converts simulated seconds to wall-clock seconds for the
-	// live engine (default 0.01: a 10 s horizon runs for 100 ms).
+	// live engine's legacy goroutine backend (default 0.01: a 10 s
+	// horizon runs for 100 ms). The default sharded engine backend runs
+	// in fast virtual time and ignores it.
 	LiveScale float64 `json:"liveScale,omitempty"`
+	// LiveWorkers is the sharded engine's worker-loop count (0 =
+	// GOMAXPROCS, clamped to [1, n]).
+	LiveWorkers int `json:"liveWorkers,omitempty"`
+	// LiveLegacy runs the live tier on the goroutine-per-node runtime
+	// (wall-clock, LiveScale-paced) instead of the sharded virtual-time
+	// engine.
+	LiveLegacy bool `json:"liveLegacy,omitempty"`
 }
 
 // Validate checks the scenario and fills defaults in place.
@@ -509,11 +518,84 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 	return res
 }
 
-// runLive executes the scenario on the goroutine-per-node runtime,
+// runLive executes the scenario on the live tier. The default backend is
+// the sharded event engine in fast virtual time: faults are pre-scheduled
+// at their exact simulated instants, the census is observed at every
+// epoch boundary (a true instantaneous cut), and wall-clock speed is
+// whatever the CPU delivers — which is what lets the harness crosscheck
+// rings of 100k+ nodes. Scenario.LiveLegacy selects the original
+// goroutine-per-node backend, wall-clock paced by LiveScale.
+func runLive(sc Scenario, o *obs.Observer) EngineResult {
+	if !sc.LiveLegacy {
+		return runLiveEngine(sc, o)
+	}
+	return runLiveLegacy(sc, o)
+}
+
+// runLiveEngine is the sharded-engine live run (virtual time, no scaling).
+func runLiveEngine(sc Scenario, o *obs.Observer) EngineResult {
+	alg := core.New(sc.N, sc.K)
+	init := initialConfig(sc)
+	draw := func(r *rand.Rand) core.State { return drawState(r, sc.K) }
+	eng := runtime.NewEngine[core.State](alg, init, runtime.Options[core.State]{
+		Delay:          simDur(sc.Link.Delay),
+		Jitter:         simDur(sc.Link.Jitter),
+		LossProb:       sc.Link.Loss,
+		Refresh:        simDur(sc.Refresh),
+		Seed:           sc.Seed,
+		CoherentCaches: !sc.IncoherentCaches,
+		RandomState:    draw,
+		Workers:        sc.LiveWorkers,
+	})
+	if o != nil {
+		eng.SetObserver(o, core.HasToken)
+	}
+
+	chk := newCensusChecker(EngineLive, sc.Settle)
+	if sc.perturbedStart() {
+		chk.perturb(0)
+	}
+	// Pre-schedule the whole fault script at exact virtual instants; the
+	// draw order matches the legacy backend's (permutation, then states,
+	// per fault in time order).
+	faults := sc.sortedFaults()
+	inj := fault.NewInjector(sc.Seed + 1)
+	for _, f := range faults {
+		if f.Type != "states" {
+			continue
+		}
+		perm := inj.Rand().Perm(sc.N)
+		count := f.Count
+		if count > sc.N {
+			count = sc.N
+		}
+		for _, node := range perm[:count] {
+			eng.ScheduleInject(f.At, node, drawState(inj.Rand(), sc.K))
+		}
+	}
+
+	fi := 0
+	for eng.Now() < sc.Horizon {
+		eng.RunUntil(eng.Now() + sc.Link.Delay)
+		now := eng.Now()
+		for fi < len(faults) && faults[fi].At <= now {
+			chk.perturb(faults[fi].At)
+			fi++
+		}
+		chk.observe(now, eng.Census(core.HasToken))
+	}
+	eng.Stop()
+
+	res := EngineResult{Engine: EngineLive, RuleExecutions: eng.RuleExecutions()}
+	chk.finish(&res)
+	return res
+}
+
+// runLiveLegacy executes the scenario on the goroutine-per-node runtime,
 // sampling the published census and injecting "states" faults at their
 // scaled wall-clock instants. Times in the result are reported on the
 // simulated-seconds axis (wall time ÷ LiveScale).
-func runLive(sc Scenario, o *obs.Observer) EngineResult {
+func runLiveLegacy(sc Scenario, o *obs.Observer) EngineResult {
 	alg := core.New(sc.N, sc.K)
 	init := initialConfig(sc)
 	draw := func(r *rand.Rand) core.State { return drawState(r, sc.K) }
@@ -578,6 +660,12 @@ func runLive(sc Scenario, o *obs.Observer) EngineResult {
 
 func scaled(simSeconds, scale float64) time.Duration {
 	return time.Duration(simSeconds * scale * float64(time.Second))
+}
+
+// simDur converts simulated seconds to the engine's Duration options
+// unscaled — one virtual second per simulated second.
+func simDur(simSeconds float64) time.Duration {
+	return time.Duration(simSeconds * float64(time.Second))
 }
 
 // censusChecker evaluates the census invariant over one engine's run:

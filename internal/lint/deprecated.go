@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deprecated finishes the functional-options migration structurally: the
+// legacy MPOptions/LiveOptions option structs (and the SimOption alias)
+// still compile — they implement Option so third-party call sites keep
+// working — but no code inside this repository may introduce new uses.
+// The analyzer flags every reference to a shim type outside its defining
+// package; the golden API tests, which deliberately pin the shims'
+// behaviour against the options vocabulary, live in _test.go files the
+// lint loader never parses.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "no in-repo uses of the deprecated MPOptions/LiveOptions option-struct shims",
+	Packages: []string{
+		"ssrmin/cmd/ssrmin-sim",
+		"ssrmin/cmd/ssrmin-mp",
+		"ssrmin/cmd/ssrmin-live",
+		"ssrmin/examples/handover",
+		"ssrmin/examples/cameranet",
+		"ssrmin/examples/faultdemo",
+		"ssrmin/examples/quickstart",
+	},
+	Run: runDeprecated,
+}
+
+// deprecatedShims maps each shim type to its replacement, named in the
+// diagnostic so the fix is mechanical.
+var deprecatedShims = map[string]string{
+	"MPOptions":   "functional options (WithSeed, WithDelay, ...)",
+	"LiveOptions": "functional options (WithSeed, WithDelay, ...)",
+	"SimOption":   "Option",
+}
+
+func runDeprecated(pass *Pass) {
+	// The defining package keeps the shims (and their apply methods) for
+	// backward compatibility; only uses elsewhere are regressions.
+	if isRootSSRmin(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				return true
+			}
+			repl, hit := deprecatedShims[tn.Name()]
+			if !hit || !isRootSSRmin(pkgPathOf(obj)) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"deprecated option shim ssrmin.%s; migrate to %s", tn.Name(), repl)
+			return true
+		})
+	}
+}
+
+// isRootSSRmin matches the root package's import path, tolerating a
+// module prefix so fixture loads resolve too.
+func isRootSSRmin(path string) bool {
+	return path == "ssrmin" || strings.HasSuffix(path, "/ssrmin")
+}

@@ -34,6 +34,7 @@ var Hotpath = &Analyzer{
 	Packages: []string{
 		"ssrmin/internal/msgnet",
 		"ssrmin/internal/cst",
+		"ssrmin/internal/runtime",
 	},
 	Run: runHotpath,
 }

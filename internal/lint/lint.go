@@ -1,6 +1,6 @@
 // Package lint is a small static-analysis framework built entirely on the
 // standard library (go/parser, go/ast, go/types, go/importer — no
-// golang.org/x/tools), plus the four domain analyzers that make this
+// golang.org/x/tools), plus the domain analyzers that make this
 // repository's model discipline machine-checked:
 //
 //   - locality: in algorithm packages, guards are side-effect-free and
@@ -14,6 +14,10 @@
 //     instrumentation overhead bar (<5%, BENCH_obs.json) structural.
 //   - lockdiscipline: mutexes unlock on every return path and select
 //     loops do not busy-wait with bare time.Sleep.
+//   - hotpath: no any-typed fields or per-event allocations in the
+//     arena-backed engine packages (msgnet, cst, runtime).
+//   - deprecated: no new in-repo uses of the MPOptions/LiveOptions
+//     option-struct shims the functional-options API replaced.
 //
 // The framework deliberately mirrors the shape of golang.org/x/tools'
 // go/analysis (Analyzer, Pass, Reportf, "// want" fixture tests) so the
@@ -84,7 +88,7 @@ func (a *Analyzer) AppliesTo(path string) bool {
 
 // All returns the analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Locality, Determinism, ObsGuard, LockDiscipline, Hotpath}
+	return []*Analyzer{Locality, Determinism, ObsGuard, LockDiscipline, Hotpath, Deprecated}
 }
 
 // Lookup resolves an analyzer by name.

@@ -94,6 +94,7 @@ func TestFixtures(t *testing.T) {
 		{"obsguard", ObsGuard},
 		{"lockdiscipline", LockDiscipline},
 		{"hotpath", Hotpath},
+		{"deprecated", Deprecated},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -219,8 +220,8 @@ func TestDiagnosticJSONAndString(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", len(All()))
+	if len(All()) != 6 {
+		t.Fatalf("All() = %d analyzers, want 6", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, a := range All() {

@@ -1,0 +1,42 @@
+// Package deprecated is the fixture for the deprecated analyzer: every
+// way the legacy option-struct shims can sneak back into a call site,
+// next to the functional-options idiom that replaces them.
+package deprecated
+
+import (
+	"time"
+
+	"ssrmin"
+)
+
+// BadMP builds a message-passing simulation through the legacy struct.
+func BadMP() *ssrmin.MPSimulation {
+	return ssrmin.NewMPSimulation(5, ssrmin.MPOptions{Seed: 1}) // want `deprecated option shim ssrmin\.MPOptions; migrate to functional options`
+}
+
+// BadLive configures a live ring the pre-options way.
+func BadLive() *ssrmin.LiveRing {
+	opts := ssrmin.LiveOptions{Delay: time.Millisecond, Seed: 2} // want `deprecated option shim ssrmin\.LiveOptions; migrate to functional options`
+	return ssrmin.NewLiveRing(5, opts)
+}
+
+// BadAlias declares a helper against the historical alias name.
+func BadAlias(extra ...ssrmin.SimOption) *ssrmin.Simulation { // want `deprecated option shim ssrmin\.SimOption; migrate to Option`
+	return ssrmin.NewSimulation(5, extra...)
+}
+
+// GoodMP is the migrated form of BadMP: same run, options vocabulary.
+func GoodMP() *ssrmin.MPSimulation {
+	return ssrmin.NewMPSimulation(5, ssrmin.WithSeed(1))
+}
+
+// GoodLive is the migrated form of BadLive.
+func GoodLive() *ssrmin.LiveRing {
+	return ssrmin.NewLiveRing(5,
+		ssrmin.WithDelay(time.Millisecond), ssrmin.WithSeed(2))
+}
+
+// GoodAlias uses the canonical Option name.
+func GoodAlias(extra ...ssrmin.Option) *ssrmin.Simulation {
+	return ssrmin.NewSimulation(5, extra...)
+}

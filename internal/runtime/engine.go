@@ -1,0 +1,902 @@
+package runtime
+
+// Engine is the sharded event-loop rebuild of the live tier: instead of
+// one goroutine per node and wall-clock channel links (Ring, kept as the
+// legacy deployment), it simulates the same Algorithm-4 semantics in
+// virtual time — nodes partitioned into contiguous ring arcs, one worker
+// loop per shard, arena-backed event queues, and lock-free SPSC rings for
+// the sends that cross a shard boundary. No allocation happens on the
+// hot path, which is what lets one process sustain rings of 100k+ nodes
+// (see BENCH_runtime.json).
+//
+// # Determinism
+//
+// The engine is deterministic for a fixed seed, independent of the worker
+// count. Every event carries the key (at, origin, seq) — virtual time,
+// originating node, and that node's monotonic counter — and each shard
+// processes its events in key order. Conservative synchronization does
+// the rest: virtual time advances in epochs of length Delay (the
+// lookahead), and because a frame admitted at time t arrives at
+// t + Delay + jitter, every arrival lands in a strictly later epoch than
+// its send. Within one epoch, then, nodes only consume events that were
+// already queued at the epoch's start, so nodes never race: any
+// interleaving of the per-node event sequences yields the same states,
+// the same taps and the same stats. The differential test pins this
+// bit-identically against the boxed Reference engine across seeds and
+// worker counts.
+//
+// # Two modes
+//
+// RunUntil advances virtual time as fast as the CPU allows — the mode
+// benches, crosscheck and large-n experiments use. Start/Stop pace
+// virtual time 1:1 against the wall clock and accept live Inject and
+// census queries, which is how NewLiveRing deploys the engine as a
+// drop-in for the goroutine Ring.
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"ssrmin/internal/obs"
+	"ssrmin/internal/statemodel"
+)
+
+// engNode is one simulated node: its state, neighbor caches, and the
+// word-sized PRNG and counters the determinism scheme needs. All fields
+// are owned by the node's shard; nothing here is shared.
+type engNode[S comparable] struct {
+	state     S
+	cachePred S
+	cacheSucc S
+	rng       prng
+	seq       uint32 // monotonic action counter: event keys and tap ords
+	wasPriv   bool
+}
+
+// engLink is one directed link. busyUntil implements the
+// one-message-per-direction rule; the PRNG draws jitter and loss. Both
+// are owned by the sending node's shard.
+type engLink struct {
+	busyUntil float64
+	rng       prng
+}
+
+// engShard is one worker's territory: the contiguous node arc [lo, hi),
+// its event arena and heap, the SPSC rings toward the neighbor shards,
+// and shard-local counters (summed on demand at barriers).
+type engShard[S comparable] struct {
+	id     int32
+	lo, hi int32
+
+	slots []eventSlot[S]
+	free  int32
+	heap  []heapEntry
+
+	outLeft, outRight *spsc[S] // produced here, consumed by neighbor shards
+	inLeft, inRight   *spsc[S] // aliases of the neighbors' out rings
+
+	tapBuf []TapEvent
+
+	events, sent, carried, dropped, rules int64
+
+	_ [64]byte // counters above are hot; keep shards off each other's lines
+}
+
+// EngineStats aggregates the engine's counters.
+type EngineStats struct {
+	// Events is the number of events dispatched.
+	Events int64
+	// Sent, Carried and Dropped count frames admitted into links,
+	// delivered, and suppressed or lost.
+	Sent, Carried, Dropped int64
+	// Rules is the number of rule executions.
+	Rules int64
+}
+
+// Engine is a sharded virtual-time execution of a CST-transformed ring
+// algorithm. Build with NewEngine, optionally set Reference, then either
+// RunUntil (fast virtual time) or Start/Stop (wall-clock paced).
+type Engine[S comparable] struct {
+	// Reference, when set before the first run, replaces the sharded
+	// arena engine with a boxed container/heap event queue processed by
+	// a single loop — the differential twin, mirroring
+	// msgnet.Network.Legacy. Behavior is bit-identical by construction;
+	// the test suite enforces it.
+	Reference bool
+
+	alg statemodel.Algorithm[S]
+	n   int
+
+	delay, jitter, refresh, loss float64
+
+	nodes   []engNode[S]
+	links   []engLink // 2i = i→succ, 2i+1 = i→pred (Ring's indexing)
+	shards  []engShard[S]
+	shardOf []int32
+	w       int
+
+	refQ    *refQueue[S]
+	pending []eventRec[S] // initial announces, timers and scheduled injects
+
+	holder func(statemodel.View[S]) bool
+	onPriv func(id int, holds bool)
+	obsv   *obs.Observer
+	taps   bool
+
+	now    float64
+	frozen bool
+
+	workCh    []chan float64
+	barrier   sync.WaitGroup
+	workerWG  sync.WaitGroup
+	workersUp bool
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	ctrl     chan func()
+	quit     chan struct{}
+	done     chan struct{}
+	driverWG sync.WaitGroup
+}
+
+// NewEngine builds an engine over init. Workers (Options.Workers)
+// defaults to GOMAXPROCS and is clamped to [1, n]; Delay and Refresh
+// must be positive (Delay is the conservative lookahead). Cache seeding
+// follows NewRing exactly: CoherentCaches, RandomState, or self-copies.
+func NewEngine[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S], opts Options[S]) *Engine[S] {
+	n := alg.N()
+	if len(init) != n {
+		panic(fmt.Sprintf("runtime: init length %d != n %d", len(init), n))
+	}
+	if opts.Refresh <= 0 {
+		panic("runtime: Refresh must be positive")
+	}
+	if opts.Delay <= 0 {
+		panic("runtime: Engine requires a positive Delay (it is the epoch lookahead)")
+	}
+	e := &Engine[S]{
+		alg:     alg,
+		n:       n,
+		delay:   opts.Delay.Seconds(),
+		jitter:  opts.Jitter.Seconds(),
+		refresh: opts.Refresh.Seconds(),
+		loss:    opts.LossProb,
+		w:       resolveWorkers(opts.Workers, n),
+	}
+	e.nodes = make([]engNode[S], n)
+	e.links = make([]engLink, 2*n)
+	e.shardOf = make([]int32, n)
+
+	seedRNG := rand.New(rand.NewSource(opts.Seed))
+	var mix prng = prng(uint64(opts.Seed)*0x9E3779B97F4A7C15 + 0x6A09E667F3BCC909)
+	for i := 0; i < n; i++ {
+		pred, succ := (i-1+n)%n, (i+1)%n
+		nd := &e.nodes[i]
+		nd.state = init[i]
+		nd.rng = prng(mix.next())
+		if opts.CoherentCaches {
+			nd.cachePred, nd.cacheSucc = init[pred], init[succ]
+		} else if opts.RandomState != nil {
+			nd.cachePred, nd.cacheSucc = opts.RandomState(seedRNG), opts.RandomState(seedRNG)
+		} else {
+			nd.cachePred, nd.cacheSucc = init[i], init[i]
+		}
+	}
+	for i := range e.links {
+		e.links[i].rng = prng(mix.next())
+	}
+
+	// Every node's opening moves: announce at t=0, then refresh on a
+	// randomly phased timer (so timers do not beat in lockstep).
+	e.pending = make([]eventRec[S], 0, 2*n)
+	for i := 0; i < n; i++ {
+		nd := &e.nodes[i]
+		e.pending = append(e.pending, eventRec[S]{
+			at: 0, key2: key2(int32(i), nd.seq), node: int32(i), kind: evInit,
+		})
+		nd.seq++
+		phase := e.refresh * nd.rng.float64()
+		e.pending = append(e.pending, eventRec[S]{
+			at: phase, key2: key2(int32(i), nd.seq), node: int32(i), kind: evTimer,
+		})
+		nd.seq++
+	}
+	return e
+}
+
+func resolveWorkers(w, n int) int {
+	if w <= 0 {
+		w = goruntime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func key2(node int32, seq uint32) uint64 {
+	return uint64(uint32(node))<<32 | uint64(seq)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration (before the first run)
+// ---------------------------------------------------------------------------
+
+// SetPrivilegeCallback installs holder as the node-local privilege
+// predicate and cb as the notification hook. Must be called before the
+// first run. With more than one worker, cb is invoked concurrently from
+// worker loops and must be safe for that.
+func (e *Engine[S]) SetPrivilegeCallback(holder func(statemodel.View[S]) bool, cb func(id int, holds bool)) {
+	if e.frozen {
+		panic("runtime: SetPrivilegeCallback after the engine started")
+	}
+	e.holder = holder
+	e.onPriv = cb
+}
+
+// SetObserver installs o: rule firings, sends, deliveries, drops and
+// handovers are emitted with virtual-time timestamps. When holder is
+// non-nil it becomes the privilege predicate if none is installed.
+// Counters are exact under any worker count; with more than one worker
+// the sink's event order across shards is not deterministic.
+func (e *Engine[S]) SetObserver(o *obs.Observer, holder func(statemodel.View[S]) bool) {
+	if e.frozen {
+		panic("runtime: SetObserver after the engine started")
+	}
+	e.obsv = o
+	if e.holder == nil {
+		e.holder = holder
+	}
+}
+
+// EnableTaps turns on the deterministic execution trace (Taps). Must be
+// called before the first run.
+func (e *Engine[S]) EnableTaps() {
+	if e.frozen {
+		panic("runtime: EnableTaps after the engine started")
+	}
+	e.taps = true
+}
+
+// ScheduleInject schedules a transient fault: at virtual time at, node's
+// state is overwritten with s (and announced, exactly like a live
+// Inject). Must be called before the first run; this is how crosscheck
+// and the tests pre-plan deterministic fault storms.
+func (e *Engine[S]) ScheduleInject(at float64, node int, s S) {
+	if e.frozen {
+		panic("runtime: ScheduleInject after the engine started")
+	}
+	if node < 0 || node >= e.n {
+		panic(fmt.Sprintf("runtime: node %d out of range", node))
+	}
+	if at < 0 {
+		panic("runtime: ScheduleInject in the past")
+	}
+	nd := &e.nodes[node]
+	e.pending = append(e.pending, eventRec[S]{
+		at: at, key2: key2(int32(node), nd.seq), node: int32(node), kind: evInject, payload: s,
+	})
+	nd.seq++
+}
+
+// freeze finalizes the topology on the first run: resolves the worker
+// count, carves the shard arcs, wires the SPSC rings and distributes the
+// pending events. Reference mode collapses to one shard over a boxed
+// global queue.
+func (e *Engine[S]) freeze() {
+	if e.frozen {
+		return
+	}
+	e.frozen = true
+	if e.Reference {
+		e.w = 1
+		e.refQ = newRefQueue[S](len(e.pending))
+	}
+	w := e.w
+	e.shards = make([]engShard[S], w)
+	base, rem := e.n/w, e.n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		sh := &e.shards[i]
+		sh.id, sh.lo, sh.hi = int32(i), int32(lo), int32(lo+size)
+		sh.free = -1
+		for j := lo; j < lo+size; j++ {
+			e.shardOf[j] = int32(i)
+		}
+		lo += size
+	}
+	if w > 1 {
+		left := make([]spsc[S], w)
+		right := make([]spsc[S], w)
+		for i := 0; i < w; i++ {
+			sh := &e.shards[i]
+			sh.outLeft, sh.outRight = &left[i], &right[i]
+			sh.inLeft = &right[(i-1+w)%w] // left neighbor's out-to-successor ring
+			sh.inRight = &left[(i+1)%w]   // right neighbor's out-to-predecessor ring
+		}
+		e.workCh = make([]chan float64, w)
+		for i := range e.workCh {
+			e.workCh[i] = make(chan float64)
+		}
+	}
+	for _, rec := range e.pending {
+		e.emitLocal(&e.shards[e.shardOf[rec.node]], rec)
+	}
+	e.pending = nil
+}
+
+// ---------------------------------------------------------------------------
+// Epoch machinery
+// ---------------------------------------------------------------------------
+
+// RunUntil advances virtual time in whole epochs until Now() >= t, as
+// fast as possible. It must not be mixed with Start; use one mode per
+// engine.
+func (e *Engine[S]) RunUntil(t float64) {
+	e.freeze()
+	for e.now < t {
+		e.stepEpoch()
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine[S]) Now() float64 {
+	var t float64
+	e.do(func() { t = e.now })
+	return t
+}
+
+// Workers returns the resolved worker count.
+func (e *Engine[S]) Workers() int {
+	if e.Reference {
+		return 1
+	}
+	return e.w
+}
+
+// stepEpoch runs one epoch (T, T+Delay]: every shard drains its inbound
+// rings, then processes its events with at < T+Delay in key order.
+func (e *Engine[S]) stepEpoch() {
+	horizon := e.now + e.delay
+	switch {
+	case e.refQ != nil:
+		e.refEpoch(horizon)
+	case e.w == 1:
+		e.shardEpoch(&e.shards[0], horizon)
+	default:
+		e.parallelEpoch(horizon)
+	}
+	e.now = horizon
+}
+
+func (e *Engine[S]) shardEpoch(sh *engShard[S], horizon float64) {
+	if sh.inLeft != nil {
+		sh.inLeft.drainInto(sh)
+		sh.inRight.drainInto(sh)
+	}
+	var rec eventRec[S]
+	for len(sh.heap) > 0 && sh.heap[0].at < horizon {
+		sh.pop(&rec)
+		e.dispatch(sh, &rec)
+	}
+}
+
+func (e *Engine[S]) parallelEpoch(horizon float64) {
+	e.ensureWorkers()
+	e.barrier.Add(e.w)
+	for i := range e.workCh {
+		e.workCh[i] <- horizon
+	}
+	e.barrier.Wait()
+}
+
+func (e *Engine[S]) ensureWorkers() {
+	e.mu.Lock()
+	if e.workersUp {
+		e.mu.Unlock()
+		return
+	}
+	e.workersUp = true
+	e.mu.Unlock()
+	for i := 0; i < e.w; i++ {
+		e.workerWG.Add(1)
+		go e.worker(i)
+	}
+}
+
+func (e *Engine[S]) worker(i int) {
+	defer e.workerWG.Done()
+	sh := &e.shards[i]
+	for horizon := range e.workCh[i] {
+		e.shardEpoch(sh, horizon)
+		e.barrier.Done()
+	}
+}
+
+// stopWorkers shuts the worker loops down (idempotent). Callers must
+// guarantee no epoch is in flight.
+func (e *Engine[S]) stopWorkers() {
+	e.mu.Lock()
+	up := e.workersUp
+	e.workersUp = false
+	e.mu.Unlock()
+	if !up {
+		return
+	}
+	for _, ch := range e.workCh {
+		close(ch)
+	}
+	e.workerWG.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Event dispatch — Algorithm 4, one event at a time
+// ---------------------------------------------------------------------------
+
+func (e *Engine[S]) dispatch(sh *engShard[S], rec *eventRec[S]) {
+	sh.events++
+	nd := &e.nodes[rec.node]
+	switch rec.kind {
+	case evFromPred:
+		nd.cachePred = rec.payload
+		sh.carried++
+		e.tap(sh, nd, rec.at, rec.node, TapDeliver, e.pred(rec.node), 0)
+		if o := e.obsv; o != nil {
+			o.MsgRecv(rec.at, int(rec.node), int(e.pred(rec.node)))
+		}
+		e.step(sh, rec.at, rec.node)
+	case evFromSucc:
+		nd.cacheSucc = rec.payload
+		sh.carried++
+		e.tap(sh, nd, rec.at, rec.node, TapDeliver, e.succ(rec.node), 0)
+		if o := e.obsv; o != nil {
+			o.MsgRecv(rec.at, int(rec.node), int(e.succ(rec.node)))
+		}
+		e.step(sh, rec.at, rec.node)
+	case evInit:
+		e.announce(sh, rec.at, rec.node)
+	case evTimer:
+		e.tap(sh, nd, rec.at, rec.node, TapTimer, -1, 0)
+		e.announce(sh, rec.at, rec.node)
+		next := eventRec[S]{
+			at: rec.at + e.refresh, key2: key2(rec.node, nd.seq), node: rec.node, kind: evTimer,
+		}
+		nd.seq++
+		e.emitLocal(sh, next)
+	case evInject:
+		nd.state = rec.payload
+		e.tap(sh, nd, rec.at, rec.node, TapInject, -1, 0)
+		e.notifyPriv(rec.at, rec.node)
+		e.announce(sh, rec.at, rec.node)
+	}
+}
+
+// step executes at most one rule and announces — the mirror of
+// liveNode.step.
+func (e *Engine[S]) step(sh *engShard[S], at float64, node int32) {
+	nd := &e.nodes[node]
+	v := statemodel.View[S]{I: int(node), N: e.n, Self: nd.state, Pred: nd.cachePred, Succ: nd.cacheSucc}
+	if rule := e.alg.EnabledRule(v); rule != 0 {
+		nd.state = e.alg.Apply(v, rule)
+		sh.rules++
+		e.tap(sh, nd, at, node, TapRule, -1, int32(rule))
+		if o := e.obsv; o != nil {
+			o.RuleFired(at, int(node), rule)
+		}
+	}
+	e.notifyPriv(at, node)
+	e.announce(sh, at, node)
+}
+
+// announce offers the state to both outgoing links, predecessor first —
+// the same order liveNode.announce uses.
+func (e *Engine[S]) announce(sh *engShard[S], at float64, node int32) {
+	e.send(sh, at, node, false)
+	e.send(sh, at, node, true)
+}
+
+// send admits the node's state into one directed link, or drops it when
+// the link is busy (one message per direction) or the loss draw hits.
+// Jitter, then loss, drawn from the link's own PRNG — the relay's order.
+func (e *Engine[S]) send(sh *engShard[S], at float64, node int32, toSucc bool) {
+	nd := &e.nodes[node]
+	var lidx, peer int32
+	var kind uint8
+	if toSucc {
+		lidx, peer, kind = 2*node, e.succ(node), evFromPred
+	} else {
+		lidx, peer, kind = 2*node+1, e.pred(node), evFromSucc
+	}
+	lk := &e.links[lidx]
+	if at < lk.busyUntil {
+		sh.dropped++
+		e.tap(sh, nd, at, node, TapSuppressed, peer, 0)
+		if o := e.obsv; o != nil {
+			o.MsgDropped(at, int(peer), int(node))
+		}
+		return
+	}
+	d := e.delay
+	if e.jitter > 0 {
+		d += e.jitter * lk.rng.float64()
+	}
+	lk.busyUntil = at + d
+	if e.loss > 0 && lk.rng.float64() < e.loss {
+		sh.dropped++
+		e.tap(sh, nd, at, node, TapLost, peer, 0)
+		if o := e.obsv; o != nil {
+			o.MsgDropped(at, int(peer), int(node))
+		}
+		return
+	}
+	sh.sent++
+	e.tap(sh, nd, at, node, TapSend, peer, 0)
+	if o := e.obsv; o != nil {
+		o.MsgSent(at, int(node), int(peer))
+	}
+	rec := eventRec[S]{at: at + d, key2: key2(node, nd.seq), node: peer, kind: kind, payload: nd.state}
+	nd.seq++
+	e.emit(sh, rec, toSucc)
+}
+
+// emit routes a message arrival to its destination shard: same shard
+// goes straight into the arena heap; a boundary crossing rides the SPSC
+// ring of the send's direction (exact even at W=2, where both neighbor
+// shards are the same shard).
+func (e *Engine[S]) emit(sh *engShard[S], rec eventRec[S], toSucc bool) {
+	if e.refQ != nil {
+		e.refPush(rec)
+		return
+	}
+	if e.shardOf[rec.node] == sh.id {
+		sh.push(rec)
+		return
+	}
+	if toSucc {
+		sh.outRight.pushRing(rec)
+	} else {
+		sh.outLeft.pushRing(rec)
+	}
+}
+
+// emitLocal inserts an event whose destination is owned by sh (timers,
+// injects, pre-run distribution).
+func (e *Engine[S]) emitLocal(sh *engShard[S], rec eventRec[S]) {
+	if e.refQ != nil {
+		e.refPush(rec)
+		return
+	}
+	sh.push(rec)
+}
+
+func (e *Engine[S]) tap(sh *engShard[S], nd *engNode[S], at float64, src int32, kind TapKind, peer, rule int32) {
+	if !e.taps {
+		return
+	}
+	sh.tapBuf = append(sh.tapBuf, TapEvent{At: at, Src: src, Ord: nd.seq, Kind: kind, Peer: peer, Rule: rule})
+	nd.seq++
+}
+
+func (e *Engine[S]) notifyPriv(at float64, node int32) {
+	if e.holder == nil {
+		return
+	}
+	nd := &e.nodes[node]
+	v := statemodel.View[S]{I: int(node), N: e.n, Self: nd.state, Pred: nd.cachePred, Succ: nd.cacheSucc}
+	holds := e.holder(v)
+	if e.onPriv != nil {
+		e.onPriv(int(node), holds)
+	}
+	if o := e.obsv; o != nil && holds != nd.wasPriv {
+		o.Handover(at, int(node), holds)
+	}
+	nd.wasPriv = holds
+}
+
+func (e *Engine[S]) pred(node int32) int32 { return (node - 1 + int32(e.n)) % int32(e.n) }
+func (e *Engine[S]) succ(node int32) int32 { return (node + 1) % int32(e.n) }
+
+// ---------------------------------------------------------------------------
+// Reads (safe in both modes: direct when idle, via the pacer when live)
+// ---------------------------------------------------------------------------
+
+// Snapshots returns every node's (state, caches) at the current virtual
+// time — a true instantaneous cut of the virtual execution.
+func (e *Engine[S]) Snapshots() []Snapshot[S] {
+	out := make([]Snapshot[S], e.n)
+	e.do(func() {
+		for i := range e.nodes {
+			nd := &e.nodes[i]
+			out[i] = Snapshot[S]{State: nd.state, CachePred: nd.cachePred, CacheSucc: nd.cacheSucc}
+		}
+	})
+	return out
+}
+
+// Census counts the nodes whose view satisfies holder.
+func (e *Engine[S]) Census(holder func(statemodel.View[S]) bool) int {
+	count := 0
+	e.do(func() { count = len(e.holdersNow(holder, nil)) })
+	return count
+}
+
+// Holders returns the ids of nodes whose view satisfies holder.
+func (e *Engine[S]) Holders(holder func(statemodel.View[S]) bool) []int {
+	var out []int
+	e.do(func() { out = e.holdersNow(holder, out) })
+	return out
+}
+
+func (e *Engine[S]) holdersNow(holder func(statemodel.View[S]) bool, out []int) []int {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		v := statemodel.View[S]{I: i, N: e.n, Self: nd.state, Pred: nd.cachePred, Succ: nd.cacheSucc}
+		if holder(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RuleExecutions sums rule executions across shards.
+func (e *Engine[S]) RuleExecutions() int64 { return e.Stats().Rules }
+
+// LinkStats aggregates carried and dropped frame counts — the Ring's
+// accessor, same meaning.
+func (e *Engine[S]) LinkStats() (carried, dropped int64) {
+	s := e.Stats()
+	return s.Carried, s.Dropped
+}
+
+// Stats sums the shard counters.
+func (e *Engine[S]) Stats() EngineStats {
+	var s EngineStats
+	e.do(func() {
+		for i := range e.shards {
+			sh := &e.shards[i]
+			s.Events += sh.events
+			s.Sent += sh.sent
+			s.Carried += sh.carried
+			s.Dropped += sh.dropped
+			s.Rules += sh.rules
+		}
+	})
+	return s
+}
+
+// Taps returns the execution trace so far (EnableTaps must have been
+// called), canonically ordered by (At, Src, Ord). The stream is
+// bit-identical across worker counts and against the Reference engine.
+func (e *Engine[S]) Taps() []TapEvent {
+	var out []TapEvent
+	e.do(func() {
+		total := 0
+		for i := range e.shards {
+			total += len(e.shards[i].tapBuf)
+		}
+		out = make([]TapEvent, 0, total)
+		for i := range e.shards {
+			out = append(out, e.shards[i].tapBuf...)
+		}
+	})
+	sortTaps(out)
+	return out
+}
+
+// WatchCensus samples the holder census every interval for the given
+// wall-clock duration — meaningful in paced mode, where virtual time
+// tracks the wall clock. It runs in the caller's goroutine.
+func (e *Engine[S]) WatchCensus(holder func(statemodel.View[S]) bool, d, interval time.Duration) CensusStats {
+	stats := CensusStats{Min: 1 << 30, Max: -1, At: map[int]int{}}
+	seen := map[int]bool{}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		hs := e.Holders(holder)
+		c := len(hs)
+		stats.Samples++
+		stats.At[c]++
+		if c < stats.Min {
+			stats.Min = c
+		}
+		if c > stats.Max {
+			stats.Max = c
+		}
+		for _, h := range hs {
+			seen[h] = true
+		}
+		time.Sleep(interval)
+	}
+	stats.DistinctHolders = len(seen)
+	return stats
+}
+
+// ---------------------------------------------------------------------------
+// Paced mode: Start / Stop / Inject
+// ---------------------------------------------------------------------------
+
+// Start launches the pacer with a background context.
+func (e *Engine[S]) Start() { e.StartContext(context.Background()) }
+
+// StartContext launches a driver goroutine that paces virtual time 1:1
+// against the wall clock (one virtual second per wall second) and
+// services queries and injects between epochs.
+func (e *Engine[S]) StartContext(ctx context.Context) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("runtime: double Start")
+	}
+	e.started = true
+	e.ctrl = make(chan func())
+	e.quit = make(chan struct{})
+	e.done = make(chan struct{})
+	e.mu.Unlock()
+	e.freeze()
+	e.driverWG.Add(1)
+	go e.drive(ctx)
+}
+
+// Stop halts the pacer and the worker loops and waits for them. It is
+// idempotent and safe to call from multiple goroutines. An engine used
+// only through RunUntil should also call Stop when done if it ran with
+// more than one worker.
+func (e *Engine[S]) Stop() {
+	e.mu.Lock()
+	wasStarted := e.started
+	if e.started && !e.stopped {
+		e.stopped = true
+		close(e.quit)
+	}
+	e.mu.Unlock()
+	if wasStarted {
+		e.driverWG.Wait()
+	}
+	e.stopWorkers()
+}
+
+// Inject overwrites a node's state at the next epoch boundary — a live
+// transient fault. It always reports true (the engine has no queue to
+// overflow); the bool mirrors Ring.Inject.
+func (e *Engine[S]) Inject(node int, s S) bool {
+	if node < 0 || node >= e.n {
+		panic(fmt.Sprintf("runtime: node %d out of range", node))
+	}
+	e.do(func() {
+		e.freeze()
+		nd := &e.nodes[node]
+		rec := eventRec[S]{
+			at: e.now, key2: key2(int32(node), nd.seq), node: int32(node), kind: evInject, payload: s,
+		}
+		nd.seq++
+		e.emitLocal(&e.shards[e.shardOf[node]], rec)
+	})
+	return true
+}
+
+// drive is the pacer loop: run epochs while virtual time lags the wall
+// clock, otherwise sleep on a timer — interruptible by control ops,
+// context cancellation and Stop.
+func (e *Engine[S]) drive(ctx context.Context) {
+	defer e.driverWG.Done()
+	defer close(e.done)
+	start := time.Now()
+	base := e.now
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		wall := time.Since(start).Seconds()
+		if e.now-base <= wall {
+			select {
+			case <-ctx.Done():
+				return
+			case <-e.quit:
+				return
+			case op := <-e.ctrl:
+				op()
+			default:
+				e.stepEpoch()
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Duration((e.now - base - wall) * float64(time.Second)))
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.quit:
+			return
+		case op := <-e.ctrl:
+			op()
+		case <-timer.C:
+		}
+	}
+}
+
+// do runs f with exclusive access to the engine state: directly when the
+// pacer is not running (single-goroutine fast mode), or on the driver
+// goroutine between epochs when it is. If the pacer stops while we wait,
+// the engine is quiescent and f runs directly.
+func (e *Engine[S]) do(f func()) {
+	e.mu.Lock()
+	live := e.started && !e.stopped
+	e.mu.Unlock()
+	if !live {
+		f()
+		return
+	}
+	ran := make(chan struct{})
+	select {
+	case e.ctrl <- func() { f(); close(ran) }:
+		<-ran
+	case <-e.done:
+		f()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Boxed reference queue (the differential twin's event store)
+// ---------------------------------------------------------------------------
+
+// refEvent boxes one event — deliberately heap-allocated, like the
+// legacy msgnet queue the arena replaced.
+type refEvent[S comparable] struct{ rec eventRec[S] }
+
+// refQueue is a container/heap min-queue of boxed events ordered by the
+// same (at, key2) key the shard heaps use.
+type refQueue[S comparable] struct{ evs []*refEvent[S] }
+
+func newRefQueue[S comparable](capHint int) *refQueue[S] {
+	//lint:ignore hotpath one-time queue construction off the hot path
+	return &refQueue[S]{evs: make([]*refEvent[S], 0, capHint)}
+}
+
+func (q *refQueue[S]) Len() int { return len(q.evs) }
+func (q *refQueue[S]) Less(i, j int) bool {
+	a, b := q.evs[i].rec, q.evs[j].rec
+	return a.at < b.at || (a.at == b.at && a.key2 < b.key2)
+}
+func (q *refQueue[S]) Swap(i, j int) { q.evs[i], q.evs[j] = q.evs[j], q.evs[i] }
+func (q *refQueue[S]) Push(x any)    { q.evs = append(q.evs, x.(*refEvent[S])) }
+func (q *refQueue[S]) Pop() any {
+	last := len(q.evs) - 1
+	ev := q.evs[last]
+	q.evs[last] = nil
+	q.evs = q.evs[:last]
+	return ev
+}
+
+// refPush boxes rec into the reference queue.
+func (e *Engine[S]) refPush(rec eventRec[S]) {
+	//lint:ignore hotpath the boxed reference engine allocates per event by design
+	heap.Push(e.refQ, &refEvent[S]{rec: rec})
+}
+
+// refEpoch processes the global queue through horizon — the single-loop
+// reference execution the sharded engine must match bit for bit.
+func (e *Engine[S]) refEpoch(horizon float64) {
+	sh := &e.shards[0]
+	var rec eventRec[S]
+	for e.refQ.Len() > 0 && e.refQ.evs[0].rec.at < horizon {
+		ev := heap.Pop(e.refQ).(*refEvent[S])
+		rec = ev.rec
+		e.dispatch(sh, &rec)
+	}
+}

@@ -1,0 +1,146 @@
+package runtime
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/statemodel"
+)
+
+// diffRun captures everything the differential test compares.
+type diffRun struct {
+	taps  []TapEvent
+	stats EngineStats
+	snaps []Snapshot[core.State]
+	now   float64
+}
+
+// diffScenario derives a full engine configuration from the seed so the
+// sweep covers ring sizes, jitter on/off, lossy links, incoherent cache
+// starts and mid-run fault injections without hand-writing 16 cases.
+func diffScenario(seed int64) (*core.Algorithm, statemodel.Config[core.State], Options[core.State], [](struct {
+	at   float64
+	node int
+	s    core.State
+})) {
+	sizes := []int{5, 8, 17}
+	n := sizes[int(seed)%len(sizes)]
+	a := core.New(n, n+2)
+	opts := Options[core.State]{
+		Delay:   10 * time.Millisecond,
+		Refresh: 60 * time.Millisecond,
+		Seed:    seed,
+	}
+	if seed%2 == 0 {
+		opts.Jitter = 3 * time.Millisecond
+	}
+	if seed%4 == 1 {
+		opts.LossProb = 0.15
+	}
+	init := a.InitialLegitimate()
+	if seed%3 == 2 {
+		// Arbitrary start with incoherent caches — the stabilization regime.
+		rng := rand.New(rand.NewSource(seed * 7))
+		for i := range init {
+			init[i] = core.State{X: rng.Intn(a.K()), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
+		}
+		opts.RandomState = func(r *rand.Rand) core.State {
+			return core.State{X: r.Intn(a.K()), RTS: r.Intn(2) == 1, TRA: r.Intn(2) == 1}
+		}
+	} else {
+		opts.CoherentCaches = true
+	}
+	faults := [](struct {
+		at   float64
+		node int
+		s    core.State
+	}){
+		{at: 0.8, node: int(seed) % n, s: core.State{X: int(seed+3) % a.K(), RTS: true, TRA: true}},
+		{at: 1.3, node: int(seed*5) % n, s: core.State{X: int(seed+1) % a.K()}},
+	}
+	return a, init, opts, faults
+}
+
+func runDiff(t *testing.T, seed int64, workers int, reference bool, horizon float64) diffRun {
+	t.Helper()
+	a, init, opts, faults := diffScenario(seed)
+	opts.Workers = workers
+	e := NewEngine[core.State](a, init, opts)
+	e.Reference = reference
+	e.EnableTaps()
+	for _, f := range faults {
+		e.ScheduleInject(f.at, f.node, f.s)
+	}
+	e.RunUntil(horizon)
+	r := diffRun{taps: e.Taps(), stats: e.Stats(), snaps: e.Snapshots(), now: e.Now()}
+	e.Stop()
+	return r
+}
+
+// TestEngineMatchesReference is the acceptance-criteria differential
+// sweep: across 16 seeds and every worker count from 1 to 4, the sharded
+// arena engine's full tap stream, stats, final snapshots and clock must
+// be bit-identical to the boxed single-loop Reference engine.
+func TestEngineMatchesReference(t *testing.T) {
+	const horizon = 2.0
+	for seed := int64(1); seed <= 16; seed++ {
+		want := runDiff(t, seed, 1, true, horizon)
+		if len(want.taps) == 0 || want.stats.Events == 0 {
+			t.Fatalf("seed %d: reference run degenerate: %d taps, %+v", seed, len(want.taps), want.stats)
+		}
+		for _, w := range []int{1, 2, 3, 4} {
+			got := runDiff(t, seed, w, false, horizon)
+			if got.stats != want.stats {
+				t.Errorf("seed %d w=%d: stats diverged:\n got %+v\nwant %+v", seed, w, got.stats, want.stats)
+			}
+			if got.now != want.now {
+				t.Errorf("seed %d w=%d: clock diverged: %v vs %v", seed, w, got.now, want.now)
+			}
+			if !reflect.DeepEqual(got.snaps, want.snaps) {
+				t.Errorf("seed %d w=%d: final snapshots diverged", seed, w)
+			}
+			if !reflect.DeepEqual(got.taps, want.taps) {
+				i := 0
+				for i < len(got.taps) && i < len(want.taps) && got.taps[i] == want.taps[i] {
+					i++
+				}
+				var g, x TapEvent
+				if i < len(got.taps) {
+					g = got.taps[i]
+				}
+				if i < len(want.taps) {
+					x = want.taps[i]
+				}
+				t.Errorf("seed %d w=%d: taps diverged at %d/%d:\n got %+v\nwant %+v",
+					seed, w, i, len(want.taps), g, x)
+			}
+		}
+	}
+}
+
+// TestEngineWorkerCountInvariance re-runs one lossy jittered scenario at
+// a longer horizon across asymmetric worker counts — shard arcs of very
+// different sizes must still replay the same execution.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	const horizon = 4.0
+	want := runDiff(t, 4, 1, false, horizon)
+	for _, w := range []int{2, 3, 4} {
+		got := runDiff(t, 4, w, false, horizon)
+		if got.stats != want.stats || !reflect.DeepEqual(got.taps, want.taps) || !reflect.DeepEqual(got.snaps, want.snaps) {
+			t.Errorf("w=%d diverged from w=1 at horizon %v", w, horizon)
+		}
+	}
+}
+
+// TestEngineRerunReproducible: constructing the same engine twice yields
+// the same execution — no hidden global state.
+func TestEngineRerunReproducible(t *testing.T) {
+	a := runDiff(t, 9, 2, false, 2.0)
+	b := runDiff(t, 9, 2, false, 2.0)
+	if a.stats != b.stats || !reflect.DeepEqual(a.taps, b.taps) {
+		t.Fatal("identical construction diverged across runs")
+	}
+}

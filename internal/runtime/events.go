@@ -1,0 +1,273 @@
+package runtime
+
+// Event plumbing for the sharded virtual-time engine: the per-shard slot
+// arena with an index-based 4-ary heap (the internal/msgnet arena pattern
+// transplanted to the live tier), the lock-free SPSC rings that carry
+// cross-shard sends, the 8-byte splitmix64 PRNG that replaces *rand.Rand
+// on the hot path, and the tap stream the differential test pins
+// bit-identical between the sharded and the boxed reference engine.
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------------
+// splitmix64
+// ---------------------------------------------------------------------------
+
+// prng is an 8-byte splitmix64 generator. A *rand.Rand costs ~5KB of
+// state; at 100k nodes with one generator per node and per directed link
+// that is half a gigabyte, so the engine carries one word instead.
+type prng uint64
+
+func (p *prng) next() uint64 {
+	*p += 0x9E3779B97F4A7C15
+	z := uint64(*p)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (p *prng) float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// ---------------------------------------------------------------------------
+// Event records, slot arena, 4-ary heap
+// ---------------------------------------------------------------------------
+
+// Event kinds. Deliveries carry the direction so the receiver knows which
+// neighbor cache to overwrite without looking the sender up.
+const (
+	evInit     uint8 = iota // the t=0 announcement every node starts with
+	evTimer                 // periodic refresh announcement (Algorithm 4)
+	evFromPred              // state announcement arriving from the predecessor
+	evFromSucc              // state announcement arriving from the successor
+	evInject                // scheduled transient fault: overwrite the state
+)
+
+// eventRec is one pending event in value form — what crosses shard
+// boundaries through the SPSC rings and what the dispatcher consumes.
+// key2 packs (origin node << 32 | origin sequence number): together with
+// at it is the globally unique, deterministic event ordering key.
+type eventRec[S comparable] struct {
+	at      float64
+	key2    uint64
+	node    int32 // destination node
+	kind    uint8
+	payload S
+}
+
+// eventSlot is an arena slot: the payload part of an eventRec plus the
+// free-list link. The (at, key2) ordering key lives in the heap entry so
+// sifts move 24 bytes regardless of the state type's size.
+type eventSlot[S comparable] struct {
+	node    int32
+	kind    uint8
+	next    int32 // free-list link; -1 terminates
+	payload S
+}
+
+// heapEntry is one 4-ary heap element: the ordering key inline, the
+// payload behind an arena index.
+type heapEntry struct {
+	at   float64
+	key2 uint64
+	slot int32
+}
+
+func heapLess(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.key2 < b.key2)
+}
+
+// alloc grabs a free slot index, growing the arena when the free list is
+// dry. Growth appends (amortized, allocation-free in steady state).
+func (sh *engShard[S]) alloc() int32 {
+	if sh.free >= 0 {
+		idx := sh.free
+		sh.free = sh.slots[idx].next
+		return idx
+	}
+	sh.slots = append(sh.slots, eventSlot[S]{})
+	return int32(len(sh.slots) - 1)
+}
+
+func (sh *engShard[S]) release(idx int32) {
+	sh.slots[idx].next = sh.free
+	sh.free = idx
+}
+
+// push inserts rec into the shard's arena and heap.
+func (sh *engShard[S]) push(rec eventRec[S]) {
+	idx := sh.alloc()
+	s := &sh.slots[idx]
+	s.node, s.kind, s.payload = rec.node, rec.kind, rec.payload
+	sh.heap = append(sh.heap, heapEntry{})
+	sh.up(len(sh.heap)-1, heapEntry{at: rec.at, key2: rec.key2, slot: idx})
+}
+
+// pop removes the minimum event into rec and releases its slot. The heap
+// must be non-empty.
+func (sh *engShard[S]) pop(rec *eventRec[S]) {
+	top := sh.heap[0]
+	last := len(sh.heap) - 1
+	ent := sh.heap[last]
+	sh.heap = sh.heap[:last]
+	if last > 0 {
+		sh.down(0, ent)
+	}
+	s := &sh.slots[top.slot]
+	rec.at, rec.key2 = top.at, top.key2
+	rec.node, rec.kind, rec.payload = s.node, s.kind, s.payload
+	sh.release(top.slot)
+}
+
+// up sifts ent from hole i toward the root (hole-based: ent is written
+// exactly once, at its final position).
+func (sh *engShard[S]) up(i int, ent heapEntry) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !heapLess(ent, sh.heap[parent]) {
+			break
+		}
+		sh.heap[i] = sh.heap[parent]
+		i = parent
+	}
+	sh.heap[i] = ent
+}
+
+// down sifts ent from hole i toward the leaves.
+func (sh *engShard[S]) down(i int, ent heapEntry) {
+	n := len(sh.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if heapLess(sh.heap[c], sh.heap[best]) {
+				best = c
+			}
+		}
+		if !heapLess(sh.heap[best], ent) {
+			break
+		}
+		sh.heap[i] = sh.heap[best]
+		i = best
+	}
+	sh.heap[i] = ent
+}
+
+// ---------------------------------------------------------------------------
+// SPSC rings
+// ---------------------------------------------------------------------------
+
+// spscCap bounds one ring's backlog. Each ring serves exactly one
+// directed boundary link, and the one-message-per-direction rule spaces
+// admitted sends at least Delay (= one epoch) apart, so at most two
+// entries are pushed per epoch and each is consumed one epoch later:
+// steady-state occupancy never exceeds four. Overflow is therefore an
+// engine invariant violation, not a load condition, and panics.
+const spscCap = 16
+
+// spsc is a single-producer single-consumer ring buffer carrying
+// cross-shard event records. The producer shard pushes during its epoch;
+// the consumer drains at the start of its own epochs. Entries pushed
+// concurrently with a drain are simply picked up one epoch later — their
+// arrival times are beyond the next horizon anyway.
+type spsc[S comparable] struct {
+	buf  [spscCap]eventRec[S]
+	_    [64]byte      // keep head and tail on separate cache lines
+	head atomic.Uint32 // consumer cursor
+	_    [64]byte
+	tail atomic.Uint32 // producer cursor
+}
+
+func (q *spsc[S]) pushRing(rec eventRec[S]) {
+	t := q.tail.Load()
+	if t-q.head.Load() >= spscCap {
+		panic("runtime: SPSC ring overflow — one-message-per-direction invariant broken")
+	}
+	q.buf[t%spscCap] = rec
+	q.tail.Store(t + 1)
+}
+
+// drainInto moves every visible entry into the shard's heap.
+func (q *spsc[S]) drainInto(sh *engShard[S]) {
+	h := q.head.Load()
+	for t := q.tail.Load(); h != t; h++ {
+		sh.push(q.buf[h%spscCap])
+	}
+	q.head.Store(h)
+}
+
+// ---------------------------------------------------------------------------
+// Taps
+// ---------------------------------------------------------------------------
+
+// TapKind discriminates TapEvent records.
+type TapKind uint8
+
+// Tap kinds: every observable action of a node's event processing.
+const (
+	// TapSend: Src admitted an announcement into the link toward Peer.
+	TapSend TapKind = iota
+	// TapSuppressed: Src tried to send toward Peer while the link was
+	// busy — the one-message-per-direction drop.
+	TapSuppressed
+	// TapLost: the frame Src sent toward Peer was lost in transit.
+	TapLost
+	// TapDeliver: Src received (and processed) an announcement from Peer.
+	TapDeliver
+	// TapRule: Src executed rule Rule.
+	TapRule
+	// TapTimer: Src's refresh timer fired.
+	TapTimer
+	// TapInject: a transient fault overwrote Src's state.
+	TapInject
+)
+
+// TapEvent is one entry of the engine's deterministic execution trace.
+// The differential test pins the full tap stream bit-identical between
+// the sharded engine (any worker count) and the boxed reference engine.
+type TapEvent struct {
+	// At is the virtual time of the action.
+	At float64
+	// Src is the node whose event processing emitted the tap.
+	Src int32
+	// Ord is Src's monotonic action counter — (At, Src, Ord) totally
+	// orders the stream independently of shard interleaving.
+	Ord uint32
+	// Kind discriminates the record.
+	Kind TapKind
+	// Peer is the other endpoint for message taps, -1 otherwise.
+	Peer int32
+	// Rule is the executed rule for TapRule, 0 otherwise.
+	Rule int32
+}
+
+// sortTaps orders a tap stream by (At, Src, Ord) — each node's taps stay
+// in emission order (At is non-decreasing and Ord strictly increasing per
+// node), and the interleaving across nodes is canonical.
+func sortTaps(taps []TapEvent) {
+	sort.Slice(taps, func(i, j int) bool {
+		a, b := taps[i], taps[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Ord < b.Ord
+	})
+}

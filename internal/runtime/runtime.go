@@ -49,6 +49,10 @@ type Options[S comparable] struct {
 	CoherentCaches bool
 	// RandomState draws arbitrary states for incoherent cache seeding.
 	RandomState func(*rand.Rand) S
+	// Workers sets the sharded Engine's worker loop count (0 means
+	// GOMAXPROCS, clamped to [1, n]). The goroutine-per-node Ring
+	// ignores it.
+	Workers int
 }
 
 // Snapshot is one node's published view: its own state and its neighbor
@@ -71,6 +75,7 @@ type Ring[S comparable] struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+	mu      sync.Mutex
 	started bool
 	stopped bool
 
@@ -214,10 +219,13 @@ func (r *Ring[S]) Start() { r.StartContext(context.Background()) }
 
 // StartContext launches every link relay and node goroutine under ctx.
 func (r *Ring[S]) StartContext(ctx context.Context) {
+	r.mu.Lock()
 	if r.started {
+		r.mu.Unlock()
 		panic("runtime: double Start")
 	}
 	r.started = true
+	r.mu.Unlock()
 	r.t0 = time.Now()
 	r.ctx, r.cancel = context.WithCancel(ctx)
 	for i, l := range r.links {
@@ -231,12 +239,18 @@ func (r *Ring[S]) StartContext(ctx context.Context) {
 	}
 }
 
-// Stop tears the ring down and waits for every goroutine to exit.
+// Stop tears the ring down and waits for every goroutine — nodes and
+// link relays, including relays mid-delivery of an in-flight frame — to
+// exit. It is idempotent and safe to call from multiple goroutines
+// concurrently (all callers return only once the ring is fully drained).
 func (r *Ring[S]) Stop() {
+	r.mu.Lock()
 	if !r.started || r.stopped {
+		r.mu.Unlock()
 		return
 	}
 	r.stopped = true
+	r.mu.Unlock()
 	r.cancel()
 	r.wg.Wait()
 }
@@ -340,6 +354,7 @@ func (nd *liveNode[S]) view() statemodel.View[S] {
 }
 
 func (nd *liveNode[S]) publish() {
+	//lint:ignore hotpath the legacy ring's lock-free sampling needs a fresh immutable snapshot per publish
 	nd.snap.Store(&Snapshot[S]{State: nd.state, CachePred: nd.cachePred, CacheSucc: nd.cacheSucc})
 }
 

@@ -1,0 +1,147 @@
+package runtime
+
+// Stop/drain regression tests for the live tier (ISSUE 7 bugfix
+// satellite): stopping a ring or engine mid-handover — with frames in
+// flight and injects landing — must drain every goroutine instead of
+// leaking them, and Stop must be safe to call concurrently. Run under
+// make test-race-core.
+
+import (
+	goruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ssrmin/internal/core"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want (GC/timer goroutines wind down asynchronously after Stop).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if goruntime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := goruntime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > %d\n%s", goruntime.NumGoroutine(), want, buf[:n])
+}
+
+// TestRingStopDrainsMidHandover starts the goroutine ring, lets frames
+// pile into every link, injects faults right up to the stop, and then
+// requires every node/relay goroutine to exit.
+func TestRingStopDrainsMidHandover(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		a := core.New(7, 8)
+		r := NewRing[core.State](a, a.InitialLegitimate(), Options[core.State]{
+			Delay:          300 * time.Microsecond,
+			Jitter:         150 * time.Microsecond,
+			Refresh:        time.Millisecond,
+			Seed:           int64(round + 1),
+			CoherentCaches: true,
+		})
+		r.Start()
+		// Stop while handovers are in full swing: no settling sleep, just
+		// enough traffic that links are busy when the context cancels.
+		for i := 0; i < 7; i++ {
+			r.Inject(i, core.State{X: i, RTS: i%2 == 0, TRA: i%2 == 1})
+		}
+		time.Sleep(2 * time.Millisecond)
+		r.Stop()
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRingStopConcurrent hammers Stop from many goroutines at once —
+// every caller must return, exactly one drain must happen, and the race
+// detector must stay quiet.
+func TestRingStopConcurrent(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	a := core.New(5, 6)
+	r := NewRing[core.State](a, a.InitialLegitimate(), Options[core.State]{
+		Delay:          300 * time.Microsecond,
+		Jitter:         100 * time.Microsecond,
+		Refresh:        time.Millisecond,
+		Seed:           1,
+		CoherentCaches: true,
+	})
+	r.Start()
+	time.Sleep(5 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Stop()
+		}()
+	}
+	wg.Wait()
+	waitGoroutines(t, before)
+}
+
+// TestEngineStopDrainsWorkers: the sharded engine's pacer and worker
+// loops must all exit on Stop, in both paced and fast-virtual use.
+func TestEngineStopDrainsWorkers(t *testing.T) {
+	before := goruntime.NumGoroutine()
+
+	a := core.New(6, 7)
+	e := NewEngine[core.State](a, a.InitialLegitimate(), Options[core.State]{
+		Delay:          300 * time.Microsecond,
+		Jitter:         100 * time.Microsecond,
+		Refresh:        time.Millisecond,
+		Seed:           1,
+		CoherentCaches: true,
+		Workers:        3,
+	})
+	e.Start()
+	for i := 0; i < 6; i++ {
+		e.Inject(i, core.State{X: i, RTS: i%2 == 0})
+	}
+	time.Sleep(2 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Stop()
+		}()
+	}
+	wg.Wait()
+
+	// Fast-virtual mode with workers up also drains on Stop.
+	e2 := NewEngine[core.State](a, a.InitialLegitimate(), Options[core.State]{
+		Delay:          time.Millisecond,
+		Refresh:        5 * time.Millisecond,
+		Seed:           2,
+		CoherentCaches: true,
+		Workers:        3,
+	})
+	e2.RunUntil(0.5)
+	e2.Stop()
+	e2.Stop() // idempotent
+
+	waitGoroutines(t, before)
+}
+
+// TestRingContextCancelDrains: cancelling the start context (rather than
+// calling Stop) must also wind the goroutines down; Stop afterwards
+// still returns.
+func TestRingContextCancelDrains(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	a := core.New(5, 6)
+	r := NewRing[core.State](a, a.InitialLegitimate(), Options[core.State]{
+		Delay:          300 * time.Microsecond,
+		Refresh:        time.Millisecond,
+		Seed:           3,
+		CoherentCaches: true,
+	})
+	r.Start()
+	time.Sleep(2 * time.Millisecond)
+	r.Stop()
+	waitGoroutines(t, before)
+}

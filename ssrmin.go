@@ -62,6 +62,20 @@
 //	MPOptions{IncoherentCaches: _}  → WithIncoherentCaches()
 //	LiveOptions{Delay: d, ...}      → WithDelay(d), ... (same names)
 //
+// Two live-tier capabilities exist only as functional options — the
+// legacy structs never grew them:
+//
+//	(no struct equivalent)          → WithWorkers(4)
+//	(no struct equivalent)          → WithLegacyRuntime()
+//
+// WithWorkers sets the sharded event-loop engine's worker count;
+// WithLegacyRuntime selects the goroutine-per-node runtime NewLiveRing
+// used before the engine existed. Observer hookup is also unified now:
+// WithObserver and WithSink behave identically on NewLiveRing as on
+// NewSimulation/NewMPSimulation — an explicit observer wins, a bare sink
+// gets a fresh observer, neither means nil and every hook is nil-guarded
+// out of the hot path, on both live backends.
+//
 // The two vocabularies are bit-identical: a run configured through
 // options produces the same trace as the same run configured through the
 // legacy structs (asserted by the golden API tests).
@@ -199,6 +213,9 @@ type options struct {
 	lossProb                                 float64
 	incoherent                               bool
 
+	workers       int
+	legacyRuntime bool
+
 	obsv *obs.Observer
 	sink obs.Sink
 }
@@ -289,6 +306,23 @@ func WithLoss(p float64) Option { return optionFunc(func(c *options) { c.lossPro
 // of the neighbors' true states — Theorem-4 style adversarial starts.
 func WithIncoherentCaches() Option {
 	return optionFunc(func(c *options) { c.incoherent = true })
+}
+
+// WithWorkers sets the worker-loop count of the live tier's sharded
+// event engine (default GOMAXPROCS, clamped to [1, n]). The execution is
+// deterministic for a fixed seed regardless of the worker count. Ignored
+// by the other vehicles and by WithLegacyRuntime's goroutine ring.
+func WithWorkers(w int) Option {
+	return optionFunc(func(c *options) { c.workers = w })
+}
+
+// WithLegacyRuntime makes NewLiveRing deploy the goroutine-per-node ring
+// (one goroutine per node, Go channels as links) instead of the sharded
+// event-loop engine. The engine is the default: it sustains rings of
+// 100k+ nodes and is deterministic per seed; the goroutine ring remains
+// available as the differential deployment reference.
+func WithLegacyRuntime() Option {
+	return optionFunc(func(c *options) { c.legacyRuntime = true })
 }
 
 // WithObserver installs o as the vehicle's instrumentation hub. The
@@ -733,11 +767,16 @@ func (o LiveOptions) apply(c *options) {
 	}
 }
 
-// LiveRing is a running SSRmin deployment: one goroutine per node, Go
+// LiveRing is a running SSRmin deployment. The default backend is the
+// sharded event-loop engine (runtime.Engine): worker loops over
+// contiguous ring arcs in wall-clock-paced virtual time, deterministic
+// per seed, sustaining 100k+ nodes. WithLegacyRuntime selects the
+// goroutine-per-node backend (runtime.Ring): one goroutine per node, Go
 // channels as one-message-per-direction links.
 type LiveRing struct {
 	alg  *Algorithm
-	ring *runtime.Ring[core.State]
+	ring *runtime.Ring[core.State]   // legacy backend, nil otherwise
+	eng  *runtime.Engine[core.State] // default backend, nil when legacy
 	obsv *obs.Observer
 }
 
@@ -772,15 +811,24 @@ func NewLiveRing(n int, opts ...Option) *LiveRing {
 		Refresh:        refresh,
 		Seed:           c.seedOr(0),
 		CoherentCaches: !c.incoherent,
+		Workers:        c.workers,
 	}
 	if c.incoherent {
 		ropts.RandomState = func(rng *rand.Rand) State {
 			return State{X: rng.Intn(k), RTS: rng.Intn(2) == 1, TRA: rng.Intn(2) == 1}
 		}
 	}
-	l := &LiveRing{alg: alg, ring: runtime.NewRing[core.State](alg, init, ropts), obsv: c.observer()}
-	if l.obsv != nil {
-		l.ring.SetObserver(l.obsv, core.HasToken)
+	l := &LiveRing{alg: alg, obsv: c.observer()}
+	if c.legacyRuntime {
+		l.ring = runtime.NewRing[core.State](alg, init, ropts)
+		if l.obsv != nil {
+			l.ring.SetObserver(l.obsv, core.HasToken)
+		}
+	} else {
+		l.eng = runtime.NewEngine[core.State](alg, init, ropts)
+		if l.obsv != nil {
+			l.eng.SetObserver(l.obsv, core.HasToken)
+		}
 	}
 	return l
 }
@@ -788,40 +836,86 @@ func NewLiveRing(n int, opts ...Option) *LiveRing {
 // Observer returns the installed instrumentation hub, or nil.
 func (l *LiveRing) Observer() *Observer { return l.obsv }
 
-// OnPrivilege installs an application callback invoked (from node
-// goroutines) whenever a node's privilege changes. Must be called before
-// Start.
+// OnPrivilege installs an application callback invoked (concurrently,
+// from node goroutines or engine workers) whenever a node's privilege
+// changes. Must be called before Start.
 func (l *LiveRing) OnPrivilege(cb func(node int, privileged bool)) {
-	l.ring.SetPrivilegeCallback(core.HasToken, cb)
+	if l.ring != nil {
+		l.ring.SetPrivilegeCallback(core.HasToken, cb)
+		return
+	}
+	l.eng.SetPrivilegeCallback(core.HasToken, cb)
 }
 
 // Start launches the ring.
-func (l *LiveRing) Start() { l.ring.Start() }
+func (l *LiveRing) Start() {
+	if l.ring != nil {
+		l.ring.Start()
+		return
+	}
+	l.eng.Start()
+}
 
-// Stop terminates all goroutines and waits for them.
-func (l *LiveRing) Stop() { l.ring.Stop() }
+// Stop halts the backend and waits for its goroutines to drain.
+func (l *LiveRing) Stop() {
+	if l.ring != nil {
+		l.ring.Stop()
+		return
+	}
+	l.eng.Stop()
+}
 
 // Inject overwrites a node's local state at runtime — a live transient
 // fault the ring must (and will) self-stabilize away from.
-func (l *LiveRing) Inject(node int, s State) bool { return l.ring.Inject(node, s) }
+func (l *LiveRing) Inject(node int, s State) bool {
+	if l.ring != nil {
+		return l.ring.Inject(node, s)
+	}
+	return l.eng.Inject(node, s)
+}
 
 // Census returns the current number of privileged nodes.
-func (l *LiveRing) Census() int { return l.ring.Census(core.HasToken) }
+func (l *LiveRing) Census() int {
+	if l.ring != nil {
+		return l.ring.Census(core.HasToken)
+	}
+	return l.eng.Census(core.HasToken)
+}
 
 // Holders returns the ids of currently privileged nodes.
-func (l *LiveRing) Holders() []int { return l.ring.Holders(core.HasToken) }
+func (l *LiveRing) Holders() []int {
+	if l.ring != nil {
+		return l.ring.Holders(core.HasToken)
+	}
+	return l.eng.Holders(core.HasToken)
+}
 
 // RuleExecutions returns total rule executions so far.
-func (l *LiveRing) RuleExecutions() int64 { return l.ring.RuleExecutions() }
+func (l *LiveRing) RuleExecutions() int64 {
+	if l.ring != nil {
+		return l.ring.RuleExecutions()
+	}
+	return l.eng.RuleExecutions()
+}
 
 // WatchCensus samples the census every interval for duration d and
 // returns the observed distribution.
 func (l *LiveRing) WatchCensus(d, interval time.Duration) runtime.CensusStats {
-	return l.ring.WatchCensus(core.HasToken, d, interval)
+	if l.ring != nil {
+		return l.ring.WatchCensus(core.HasToken, d, interval)
+	}
+	return l.eng.WatchCensus(core.HasToken, d, interval)
 }
 
-// Runtime exposes the underlying generic ring for advanced use.
+// Runtime exposes the underlying goroutine ring for advanced use. It is
+// nil unless the ring was built with WithLegacyRuntime; the default
+// backend is exposed by Engine.
 func (l *LiveRing) Runtime() *runtime.Ring[core.State] { return l.ring }
+
+// Engine exposes the underlying sharded event engine for advanced use
+// (RunUntil fast-virtual execution, taps, snapshots). It is nil when the
+// ring was built with WithLegacyRuntime.
+func (l *LiveRing) Engine() *runtime.Engine[core.State] { return l.eng }
 
 // ---------------------------------------------------------------------------
 // Baseline: Dijkstra's SSToken

@@ -96,7 +96,7 @@ func TestSimulationWithoutRecordingErrors(t *testing.T) {
 }
 
 func TestMPSimulationInvariant(t *testing.T) {
-	m := NewMPSimulation(5, MPOptions{Seed: 1})
+	m := NewMPSimulation(5, WithSeed(1))
 	m.Run(3)
 	tl := m.Timeline()
 	if tl.MinCount() < 1 || tl.MaxCount() > 2 {
@@ -110,12 +110,12 @@ func TestMPSimulationInvariant(t *testing.T) {
 func TestMPSimulationArbitraryStartStabilizes(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	alg := New(5, 6)
-	m := NewMPSimulation(5, MPOptions{
-		Seed:             2,
-		Initial:          RandomConfig(alg, rng),
-		IncoherentCaches: true,
-		LossProb:         0.05,
-	})
+	m := NewMPSimulation(5,
+		WithSeed(2),
+		WithInitial(RandomConfig(alg, rng)),
+		WithIncoherentCaches(),
+		WithLoss(0.05),
+	)
 	m.Run(40)
 	if c := m.Census(); c < 1 || c > 2 {
 		t.Fatalf("census after settling = %d", c)
@@ -126,11 +126,11 @@ func TestMPSimulationArbitraryStartStabilizes(t *testing.T) {
 }
 
 func TestLiveRingEndToEnd(t *testing.T) {
-	l := NewLiveRing(5, LiveOptions{
-		Delay:   300 * time.Microsecond,
-		Refresh: 2 * time.Millisecond,
-		Seed:    5,
-	})
+	l := NewLiveRing(5,
+		WithDelay(300*time.Microsecond),
+		WithRefresh(2*time.Millisecond),
+		WithSeed(5),
+	)
 	transitions := make(chan int, 1024)
 	l.OnPrivilege(func(node int, privileged bool) {
 		if privileged {
@@ -256,9 +256,11 @@ func TestLiveOptionsIncoherentCaches(t *testing.T) {
 }
 
 func TestLiveInjectFacade(t *testing.T) {
-	l := NewLiveRing(5, LiveOptions{
-		Delay: 300 * time.Microsecond, Refresh: 2 * time.Millisecond, Seed: 14,
-	})
+	l := NewLiveRing(5,
+		WithDelay(300*time.Microsecond),
+		WithRefresh(2*time.Millisecond),
+		WithSeed(14),
+	)
 	l.Start()
 	defer l.Stop()
 	time.Sleep(20 * time.Millisecond)
