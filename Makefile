@@ -140,6 +140,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParseDaemon -fuzztime 5s ./internal/cliconf
 	$(GO) test -run '^$$' -fuzz FuzzConfigFlags -fuzztime 5s ./internal/cliconf
 	$(GO) test -run '^$$' -fuzz FuzzJSONLEmit -fuzztime 5s ./internal/obs
+	$(GO) test -run '^$$' -fuzz FuzzWaiverParse -fuzztime 5s ./internal/lint
 
 clean:
 	$(GO) clean ./...

@@ -214,6 +214,14 @@ func compareFiles(oldPath, newPath string, maxRegress float64) (report string, f
 			fail = true
 			continue
 		}
+		if o.NsPerOp <= 0 {
+			// A zero or negative baseline makes the percentage meaningless
+			// (division by zero) — fail loudly instead of printing +Inf.
+			fmt.Fprintf(&b, "FAIL %-60s non-positive baseline %g ns/op in %s — cannot compute regression\n",
+				o.Name, o.NsPerOp, oldPath)
+			fail = true
+			continue
+		}
 		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		verdict := "ok  "
 		if pct > maxRegress {
@@ -222,11 +230,51 @@ func compareFiles(oldPath, newPath string, maxRegress float64) (report string, f
 		}
 		fmt.Fprintf(&b, "%s %-60s %12.0f -> %12.0f ns/op  %+7.1f%% (max +%.1f%%)\n",
 			verdict, o.Name, o.NsPerOp, n.NsPerOp, pct, maxRegress)
+		if mfail := compareMetrics(&b, o, n, oldPath, newPath); mfail {
+			fail = true
+		}
 	}
 	if fail {
 		fmt.Fprintf(&b, "benchjson: regression beyond %.1f%% against %s\n", maxRegress, oldPath)
 	}
 	return b.String(), fail, nil
+}
+
+// compareMetrics diffs the custom metric sets of one benchmark. A metric
+// present in only one file is an error — a silently vanished (or
+// suddenly appearing) ReportMetric means the benchmark no longer
+// measures what the baseline recorded, which a ns/op-only diff would
+// pass without comment. Shared metrics are reported informationally:
+// their units differ in direction (events/s up is good, B/op up is bad),
+// so no single threshold applies.
+func compareMetrics(b *strings.Builder, o, n Result, oldPath, newPath string) (fail bool) {
+	names := make(map[string]bool, len(o.Metrics)+len(n.Metrics))
+	for m := range o.Metrics {
+		names[m] = true
+	}
+	for m := range n.Metrics {
+		names[m] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for m := range names {
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+	for _, m := range sorted {
+		ov, oOK := o.Metrics[m]
+		nv, nOK := n.Metrics[m]
+		switch {
+		case !nOK:
+			fmt.Fprintf(b, "FAIL %-60s metric %q recorded in %s but missing from %s\n", o.Name, m, oldPath, newPath)
+			fail = true
+		case !oOK:
+			fmt.Fprintf(b, "FAIL %-60s metric %q recorded in %s but missing from %s\n", o.Name, m, newPath, oldPath)
+			fail = true
+		default:
+			fmt.Fprintf(b, "info %-60s %12.2f -> %12.2f %s\n", o.Name, ov, nv, m)
+		}
+	}
+	return fail
 }
 
 func loadResults(path string) ([]Result, error) {

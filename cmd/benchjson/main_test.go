@@ -141,6 +141,59 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	}
 }
 
+func TestCompareMissingMetricFails(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeRecords(t, dir, "old.json",
+		`[{"name":"BenchmarkA","iterations":10,"ns_per_op":1000,"metrics":{"events/s":500,"cfg/s":9}}]`)
+	newP := writeRecords(t, dir, "new.json",
+		`[{"name":"BenchmarkA","iterations":10,"ns_per_op":1000,"metrics":{"events/s":510}}]`)
+	report, fail, err := compareFiles(oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fail {
+		t.Fatalf("vanished custom metric passed silently:\n%s", report)
+	}
+	if !strings.Contains(report, `metric "cfg/s"`) || !strings.Contains(report, "missing from") {
+		t.Fatalf("report does not name the vanished metric:\n%s", report)
+	}
+	// Shared metrics are informational, never a failure by themselves.
+	if !strings.Contains(report, "events/s") {
+		t.Fatalf("report omits the shared metric:\n%s", report)
+	}
+
+	// The other direction — a metric only the new file records — is an
+	// error too: the baseline never measured it.
+	report, fail, err = compareFiles(newP, oldP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fail || !strings.Contains(report, `metric "cfg/s"`) {
+		t.Fatalf("metric present only in the new file passed silently:\n%s", report)
+	}
+}
+
+func TestCompareZeroBaselineFails(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeRecords(t, dir, "old.json",
+		`[{"name":"BenchmarkA","iterations":10,"ns_per_op":0}]`)
+	newP := writeRecords(t, dir, "new.json",
+		`[{"name":"BenchmarkA","iterations":10,"ns_per_op":1000}]`)
+	report, fail, err := compareFiles(oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fail {
+		t.Fatalf("zero ns/op baseline passed silently:\n%s", report)
+	}
+	if strings.Contains(report, "Inf") || strings.Contains(report, "NaN") {
+		t.Fatalf("report leaked a division by zero:\n%s", report)
+	}
+	if !strings.Contains(report, "non-positive baseline") {
+		t.Fatalf("report does not explain the zero baseline:\n%s", report)
+	}
+}
+
 func TestCompareUnreadableInput(t *testing.T) {
 	dir := t.TempDir()
 	okP := writeRecords(t, dir, "ok.json",

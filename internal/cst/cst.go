@@ -128,6 +128,8 @@ func (nd *Node[S]) SetCache(k int, s S) {
 // View builds the node's current view of the ring: its own state plus the
 // cached neighbor states. All guard evaluation and all token predicates of
 // the message-passing model go through this view.
+//
+//allocgate:hot
 func (nd *Node[S]) View() statemodel.View[S] {
 	return statemodel.View[S]{
 		I:    nd.id,
@@ -189,6 +191,8 @@ func (nd *Node[S]) executeOne(ctx *msgnet.Context[S]) {
 
 // executeNow evaluates and applies the enabled rule, if any, against the
 // current cached view.
+//
+//rulecheck:step
 func (nd *Node[S]) executeNow(ctx *msgnet.Context[S]) {
 	v := nd.View()
 	rule := nd.alg.EnabledRule(v)
@@ -344,6 +348,8 @@ func (r *Ring[S]) RuleExecutions() int {
 // path (two comparisons, no map) and reports whether from is a ring
 // neighbor — the receive path's validity check, folded in so each
 // message pays for the comparisons once.
+//
+//allocgate:hot
 func (nd *Node[S]) setCacheFast(from int, s S) bool {
 	ok := false
 	if from == nd.predID {

@@ -88,7 +88,7 @@ func (a *Analyzer) AppliesTo(path string) bool {
 
 // All returns the analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Locality, Determinism, ObsGuard, LockDiscipline, Hotpath, Deprecated}
+	return []*Analyzer{Locality, Determinism, ObsGuard, LockDiscipline, Hotpath, Deprecated, RuleCheck, ShardSafety, AllocGate}
 }
 
 // Lookup resolves an analyzer by name.
@@ -116,7 +116,23 @@ type Package struct {
 	// Info carries the type-checker's fact tables.
 	Info *types.Info
 
+	loader  *Loader
 	parents map[ast.Node]ast.Node
+}
+
+// Dep returns the fully loaded package (AST + type info) of a
+// module-local import path this package depends on, or nil when the
+// path was never loaded through the same loader. Cross-package
+// analyses (rulecheck's symbolic inlining) resolve callee bodies
+// through it.
+func (p *Package) Dep(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	if path == p.Path {
+		return p
+	}
+	return p.loader.pkgs[path]
 }
 
 // Pass is one (analyzer, package) run.
@@ -185,6 +201,27 @@ func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(.+)$`)
 
+// parseWaiver parses one //lint:ignore comment into the waived analyzer
+// names (a comma list, "*" waives every analyzer) and the mandatory
+// reason. ok is false for comments that are not waivers or that omit the
+// reason — those suppress nothing. This is the single entry point the
+// suppression pass and the FuzzWaiverParse target share.
+func parseWaiver(text string) (analyzers []string, reason string, ok bool) {
+	m := ignoreRe.FindStringSubmatch(text)
+	if m == nil || strings.TrimSpace(m[2]) == "" {
+		return nil, "", false
+	}
+	for _, name := range strings.Split(m[1], ",") {
+		if name != "" {
+			analyzers = append(analyzers, name)
+		}
+	}
+	if len(analyzers) == 0 {
+		return nil, "", false
+	}
+	return analyzers, strings.TrimSpace(m[2]), true
+}
+
 type ignoreKey struct {
 	file string
 	line int
@@ -210,12 +247,12 @@ func collectIgnores(pkg *Package) suppressions {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil || strings.TrimSpace(m[2]) == "" {
+				names, _, ok := parseWaiver(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(m[1], ",") {
+				for _, name := range names {
 					sup[ignoreKey{pos.Filename, pos.Line, name}] = true
 					sup[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
 				}
@@ -248,6 +285,11 @@ type Loader struct {
 
 	std   types.ImporterFrom
 	cache map[string]*types.Package
+	// pkgs retains the full Package (AST, type info, parent links) of
+	// every module-local package loaded through this loader — both
+	// analysis targets and their module-local imports — so analyzers
+	// can resolve cross-package function bodies (Package.Dep).
+	pkgs map[string]*Package
 }
 
 // NewLoader creates a loader for the module rooted at root (found by
@@ -283,7 +325,8 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
 	}
 	fset := token.NewFileSet()
-	l := &Loader{Root: root, Module: module, Fset: fset, cache: map[string]*types.Package{}}
+	l := &Loader{Root: root, Module: module, Fset: fset,
+		cache: map[string]*types.Package{}, pkgs: map[string]*Package{}}
 	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	if !ok {
 		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
@@ -313,8 +356,13 @@ func (l *Loader) ImportPath(dir string) (string, error) {
 
 // Load parses and type-checks the package in dir under the given import
 // path. Test files are skipped; comments are kept (suppressions and
-// fixture expectations live there).
+// fixture expectations live there). Loads are cached by import path, so
+// a package reached both as an analysis target and as a dependency is
+// parsed and checked once and shares one object identity space.
 func (l *Loader) Load(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
@@ -337,17 +385,20 @@ func (l *Loader) Load(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}
 	pkg.parents = map[ast.Node]ast.Node{}
 	for _, f := range files {
 		buildParents(f, pkg.parents)
 	}
+	l.pkgs[path] = pkg
+	l.cache[path] = tpkg
 	return pkg, nil
 }
 
@@ -387,9 +438,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.Root, 0)
 }
 
-// ImportFrom implements types.ImporterFrom: module-local paths resolve to
-// source directories under Root; everything else goes to the stdlib
-// source importer.
+// ImportFrom implements types.ImporterFrom: module-local paths load as
+// full packages (AST and type info retained for Package.Dep); everything
+// else goes to the stdlib source importer.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if p, ok := l.cache[path]; ok {
 		return p, nil
@@ -397,17 +448,11 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
 		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
 		pdir := filepath.Join(l.Root, filepath.FromSlash(sub))
-		files, err := l.parseDir(pdir)
+		pkg, err := l.Load(pdir, path)
 		if err != nil {
 			return nil, err
 		}
-		conf := types.Config{Importer: l}
-		pkg, err := conf.Check(path, l.Fset, files, nil)
-		if err != nil {
-			return nil, err
-		}
-		l.cache[path] = pkg
-		return pkg, nil
+		return pkg.Types, nil
 	}
 	pkg, err := l.std.ImportFrom(path, dir, mode)
 	if err == nil {

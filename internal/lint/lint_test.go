@@ -95,6 +95,9 @@ func TestFixtures(t *testing.T) {
 		{"lockdiscipline", LockDiscipline},
 		{"hotpath", Hotpath},
 		{"deprecated", Deprecated},
+		{"rulecheck", RuleCheck},
+		{"shardsafety", ShardSafety},
+		{"allocgate", AllocGate},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +129,36 @@ func TestFixtures(t *testing.T) {
 				t.Errorf("fixture produced %d findings, want at least 2 demonstrated cases", len(diags))
 			}
 		})
+	}
+}
+
+// TestRuleCheckLiveAnnotations guards rulecheck against silently
+// becoming a no-op: the real dijkstra package must expose exactly the
+// annotations the equivalence proof is built on (two relation halves,
+// three token-guard group members). A refactor that detaches a doc
+// comment would otherwise skip the sweep without any finding.
+func TestRuleCheckLiveAnnotations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a real package; skipping in -short")
+	}
+	l := testLoader(t)
+	dir := filepath.Join(l.Root, "internal", "dijkstra")
+	pkg, err := l.Load(dir, "ssrmin/internal/dijkstra")
+	if err != nil {
+		t.Fatalf("load dijkstra: %v", err)
+	}
+	pass := &Pass{Analyzer: RuleCheck, Pkg: pkg}
+	counts := map[string]int{}
+	for _, a := range ruleCheckAnnotations(pass) {
+		counts[a.kind]++
+	}
+	if counts["relation"] != 2 || counts["guard"] != 3 {
+		t.Errorf("dijkstra annotations = %v, want 2 relation halves and 3 guard members", counts)
+	}
+	if diags := RunAnalyzers(pkg, RuleCheck); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
 	}
 }
 
@@ -198,6 +231,86 @@ var d = 4
 	}
 }
 
+// TestIgnoreEndOfLine covers the end-of-line waiver form: the comment
+// trails the flagged statement instead of sitting on its own line.
+func TestIgnoreEndOfLine(t *testing.T) {
+	src := `package p
+var a = 1 //lint:ignore determinism trailing waiver with reason
+var b = 2 //lint:ignore obsguard,locality,hotpath trailing multi-analyzer list
+var c = 3 //lint:ignore determinism
+var d = 4
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{f}}
+	sup := collectIgnores(pkg)
+	at := func(analyzer string, line int) bool {
+		return sup.suppressed(Diagnostic{Analyzer: analyzer, File: "p.go", Line: line})
+	}
+	if !at("determinism", 2) {
+		t.Error("end-of-line waiver must cover its own line")
+	}
+	if !at("determinism", 3) {
+		t.Error("end-of-line waiver must cover the following line, like the own-line form")
+	}
+	if !at("obsguard", 3) || !at("locality", 3) || !at("hotpath", 3) {
+		t.Error("end-of-line multi-analyzer list must cover every named analyzer")
+	}
+	if at("obsguard", 2) {
+		t.Error("end-of-line waiver must not reach the preceding line")
+	}
+	if at("determinism", 4) {
+		t.Error("a reasonless end-of-line waiver must suppress nothing")
+	}
+	if at("determinism", 5) {
+		t.Error("an end-of-line waiver must not extend beyond the following line")
+	}
+}
+
+// TestIgnoreInTestFiles pins that waiver semantics apply to whatever
+// files a Package carries, including _test.go sources: an analyzer run
+// over a package with test files must honor their waivers identically.
+func TestIgnoreInTestFiles(t *testing.T) {
+	lib := `package p
+var a = 1
+`
+	test := `package p
+//lint:ignore determinism seeded test fixture, order-free
+var fixture = 2
+var naked = 3 //lint:ignore locality,obsguard test shim reaches across the ring
+var bare = 4
+`
+	fset := token.NewFileSet()
+	libF, err := parser.ParseFile(fset, "p.go", lib, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testF, err := parser.ParseFile(fset, "p_test.go", test, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{libF, testF}}
+	sup := collectIgnores(pkg)
+	at := func(analyzer, file string, line int) bool {
+		return sup.suppressed(Diagnostic{Analyzer: analyzer, File: file, Line: line})
+	}
+	if !at("determinism", "p_test.go", 3) || !at("determinism", "p_test.go", 2) {
+		t.Error("own-line waiver in a _test.go file must cover itself and the next line")
+	}
+	if !at("locality", "p_test.go", 4) || !at("obsguard", "p_test.go", 4) {
+		t.Error("end-of-line multi-analyzer waiver in a _test.go file must apply")
+	}
+	if at("determinism", "p_test.go", 5) {
+		t.Error("waiver must not leak to unrelated lines of the test file")
+	}
+	if at("determinism", "p.go", 2) || at("determinism", "p.go", 3) {
+		t.Error("a test-file waiver must not suppress findings in sibling files")
+	}
+}
+
 func TestDiagnosticJSONAndString(t *testing.T) {
 	d := Diagnostic{
 		Analyzer: "obsguard",
@@ -220,8 +333,8 @@ func TestDiagnosticJSONAndString(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 6 {
-		t.Fatalf("All() = %d analyzers, want 6", len(All()))
+	if len(All()) != 9 {
+		t.Fatalf("All() = %d analyzers, want 9", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, a := range All() {

@@ -1,0 +1,1200 @@
+// Symbolic IR for the rulecheck analyzer: a tiny guarded-command fragment
+// of Go — bounded integers, booleans, plain structs, conditionals,
+// switches and calls — compiled out of typed ASTs and evaluated
+// exhaustively over view valuations.
+//
+// The pipeline is deliberately two-phase. compileFunc lowers an
+// *ast.FuncDecl into a self-contained symFunc: identifiers become frame
+// slots, struct fields become indices resolved through go/types,
+// constants are folded via the type-checker's value tables, and every
+// call — same package, cross package (Package.Dep), or method (through
+// types.Selections) — is resolved to its callee's FuncDecl and compiled
+// recursively, so the resulting IR references nothing but other symFuncs.
+// Evaluation then runs the IR over a plain []symVal frame with no AST,
+// no type information and no maps on the path — cheap enough to sweep
+// all |Q|³ × classes valuations of a transition relation per lint run.
+//
+// Anything outside the fragment (loops, pointers, maps, channels,
+// closures, recursion, non-scalar types) fails compilation with a
+// positioned error; rulecheck surfaces that as a finding. The single
+// deliberate exception: panic(...) compiles without looking at its
+// arguments — dead defensive branches like dijkstra.Apply's unknown-rule
+// panic must not drag fmt.Sprintf into the fragment — and only errors
+// if an evaluation actually reaches it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+type symKind uint8
+
+const (
+	symInt symKind = iota
+	symBool
+	symStruct
+)
+
+// symVal is one runtime value of the fragment: an integer, a boolean, or
+// a struct of fragment values (fields in source declaration order).
+type symVal struct {
+	kind  symKind
+	n     int64 // the integer, or 0/1 for booleans
+	elems []symVal
+}
+
+func symIntVal(n int64) symVal { return symVal{kind: symInt, n: n} }
+
+func symBoolVal(b bool) symVal {
+	v := symVal{kind: symBool}
+	if b {
+		v.n = 1
+	}
+	return v
+}
+
+func symStructVal(fields ...symVal) symVal {
+	return symVal{kind: symStruct, elems: fields}
+}
+
+func (v symVal) isTrue() bool { return v.n != 0 }
+
+// key renders a canonical identity string: booleans as 0/1, structs as
+// dot-joined fields in parentheses. Equal keys ⇔ equal values.
+func (v symVal) key() string {
+	if v.kind != symStruct {
+		return strconv.FormatInt(v.n, 10)
+	}
+	parts := make([]string, len(v.elems))
+	for i, e := range v.elems {
+		parts[i] = e.key()
+	}
+	return "(" + strings.Join(parts, ".") + ")"
+}
+
+// withField returns v with field i replaced — a functional update, so
+// struct values copied between frame slots never alias.
+func (v symVal) withField(i int, f symVal) symVal {
+	elems := append([]symVal(nil), v.elems...)
+	elems[i] = f
+	v.elems = elems
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+// symError is a positioned compilation or evaluation failure.
+type symError struct {
+	pos token.Pos
+	msg string
+}
+
+func (e *symError) Error() string { return e.msg }
+
+func symErrf(pos token.Pos, format string, args ...any) error {
+	return &symError{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// symErrPos extracts the position of a symError, or token.NoPos.
+func symErrPos(err error) token.Pos {
+	if se, ok := err.(*symError); ok {
+		return se.pos
+	}
+	return token.NoPos
+}
+
+// ---------------------------------------------------------------------------
+// IR
+// ---------------------------------------------------------------------------
+
+type symExpr interface{ exprPos() token.Pos }
+
+type eConst struct {
+	pos token.Pos
+	v   symVal
+}
+
+type eSlot struct {
+	pos  token.Pos
+	slot int
+	name string
+}
+
+type eField struct {
+	pos  token.Pos
+	x    symExpr
+	idx  int
+	name string
+}
+
+type eUnary struct {
+	pos token.Pos
+	op  token.Token
+	x   symExpr
+}
+
+type eBinary struct {
+	pos  token.Pos
+	op   token.Token
+	x, y symExpr
+}
+
+type eCall struct {
+	pos  token.Pos
+	fn   *symFunc
+	args []symExpr
+}
+
+type eStruct struct {
+	pos    token.Pos
+	fields []symExpr
+}
+
+func (e *eConst) exprPos() token.Pos  { return e.pos }
+func (e *eSlot) exprPos() token.Pos   { return e.pos }
+func (e *eField) exprPos() token.Pos  { return e.pos }
+func (e *eUnary) exprPos() token.Pos  { return e.pos }
+func (e *eBinary) exprPos() token.Pos { return e.pos }
+func (e *eCall) exprPos() token.Pos   { return e.pos }
+func (e *eStruct) exprPos() token.Pos { return e.pos }
+
+type symStmt interface{ stmtPos() token.Pos }
+
+// symLval is an assignable location: a frame slot plus an optional chain
+// of struct-field indices below it. slot −1 is the blank identifier.
+type symLval struct {
+	pos  token.Pos
+	slot int
+	path []int
+}
+
+type sAssign struct {
+	pos    token.Pos
+	lhs    []symLval
+	rhs    []symExpr
+	spread bool // single multi-valued call on the right
+}
+
+type sReturn struct {
+	pos   token.Pos
+	exprs []symExpr
+}
+
+type sIf struct {
+	pos       token.Pos
+	cond      symExpr
+	then, els []symStmt
+}
+
+type symCase struct {
+	vals []symExpr // nil for default
+	body []symStmt
+}
+
+type sSwitch struct {
+	pos    token.Pos
+	tag    symExpr // nil for a tagless switch
+	cases  []symCase
+	def    []symStmt
+	hasDef bool
+}
+
+type sPanic struct{ pos token.Pos }
+
+func (s *sAssign) stmtPos() token.Pos { return s.pos }
+func (s *sReturn) stmtPos() token.Pos { return s.pos }
+func (s *sIf) stmtPos() token.Pos     { return s.pos }
+func (s *sSwitch) stmtPos() token.Pos { return s.pos }
+func (s *sPanic) stmtPos() token.Pos  { return s.pos }
+
+// symFunc is one compiled function: slots for the receiver, parameters
+// and locals, and a statement body referencing only other symFuncs.
+type symFunc struct {
+	name       string
+	nslots     int
+	paramSlots []int // receiver first when present; −1 discards the argument
+	results    int
+	// resultSlots/resultInit carry named results: their slots are
+	// zero-initialized before the body runs and naked returns read them
+	// back. nil when the results are unnamed.
+	resultSlots []int
+	resultInit  []symVal
+	body        []symStmt
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+// symCompiler caches compiled functions across a rulecheck run and
+// detects recursion (outside the fragment).
+type symCompiler struct {
+	funcs  map[string]*symFunc
+	active map[string]bool
+}
+
+func newSymCompiler() *symCompiler {
+	return &symCompiler{funcs: map[string]*symFunc{}, active: map[string]bool{}}
+}
+
+// symScope is the per-function compilation context: the package whose
+// type info resolves this body, and the object→slot table.
+type symScope struct {
+	c     *symCompiler
+	pkg   *Package
+	fn    *symFunc
+	slots map[types.Object]int
+}
+
+func (sc *symScope) newSlot(obj types.Object) int {
+	s := sc.fn.nslots
+	sc.fn.nslots++
+	if obj != nil {
+		sc.slots[obj] = s
+	}
+	return s
+}
+
+func funcCacheKey(pkgPath, recv, name string) string {
+	return pkgPath + "|" + recv + "|" + name
+}
+
+// recvTypeName extracts the receiver type name of a FuncDecl, looking
+// through pointers and type-parameter lists.
+func recvTypeName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// findFuncDecl locates the declaration of (recvName, funcName) in pkg.
+func findFuncDecl(pkg *Package, recvName, funcName string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != funcName {
+				continue
+			}
+			if recvTypeName(fd) == recvName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// compileFunc lowers decl (declared in pkg) into a symFunc, resolving and
+// compiling every callee transitively.
+func (c *symCompiler) compileFunc(pkg *Package, decl *ast.FuncDecl) (*symFunc, error) {
+	key := funcCacheKey(pkg.Path, recvTypeName(decl), decl.Name.Name)
+	if fn, ok := c.funcs[key]; ok {
+		return fn, nil
+	}
+	if c.active[key] {
+		return nil, symErrf(decl.Pos(), "recursive call to %s is outside the symbolic fragment", decl.Name.Name)
+	}
+	c.active[key] = true
+	defer delete(c.active, key)
+
+	if decl.Body == nil {
+		return nil, symErrf(decl.Pos(), "%s has no body", decl.Name.Name)
+	}
+	fn := &symFunc{name: decl.Name.Name}
+	sc := &symScope{c: c, pkg: pkg, fn: fn, slots: map[types.Object]int{}}
+
+	bindField := func(field *ast.Field) {
+		if len(field.Names) == 0 {
+			fn.paramSlots = append(fn.paramSlots, -1)
+			return
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				fn.paramSlots = append(fn.paramSlots, -1)
+				continue
+			}
+			fn.paramSlots = append(fn.paramSlots, sc.newSlot(pkg.Info.Defs[name]))
+		}
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			bindField(f)
+		}
+	}
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			bindField(f)
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, f := range decl.Type.Results.List {
+			if len(f.Names) == 0 {
+				fn.results++
+				continue
+			}
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					return nil, symErrf(name.Pos(), "%s: blank named result is outside the symbolic fragment", decl.Name.Name)
+				}
+				obj := pkg.Info.Defs[name]
+				z, err := symZeroVal(name.Pos(), obj.Type())
+				if err != nil {
+					return nil, err
+				}
+				fn.resultSlots = append(fn.resultSlots, sc.newSlot(obj))
+				fn.resultInit = append(fn.resultInit, z)
+				fn.results++
+			}
+		}
+		if fn.resultSlots != nil && len(fn.resultSlots) != fn.results {
+			return nil, symErrf(decl.Pos(), "%s: mixed named and unnamed results are outside the symbolic fragment", decl.Name.Name)
+		}
+	}
+
+	body, err := sc.compileStmts(decl.Body.List)
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	c.funcs[key] = fn
+	return fn, nil
+}
+
+func (sc *symScope) compileStmts(stmts []ast.Stmt) ([]symStmt, error) {
+	var out []symStmt
+	for _, s := range stmts {
+		cs, err := sc.compileStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}
+
+func (sc *symScope) compileStmt(s ast.Stmt) ([]symStmt, error) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return sc.compileStmts(s.List)
+
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			if sc.fn.resultSlots == nil {
+				return nil, symErrf(s.Pos(), "naked return without named results is outside the symbolic fragment")
+			}
+			ret := &sReturn{pos: s.Pos()}
+			for _, slot := range sc.fn.resultSlots {
+				ret.exprs = append(ret.exprs, &eSlot{pos: s.Pos(), slot: slot})
+			}
+			return []symStmt{ret}, nil
+		}
+		ret := &sReturn{pos: s.Pos()}
+		for _, r := range s.Results {
+			e, err := sc.compileExpr(r)
+			if err != nil {
+				return nil, err
+			}
+			ret.exprs = append(ret.exprs, e)
+		}
+		return []symStmt{ret}, nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			return nil, symErrf(s.Pos(), "if with init statement is outside the symbolic fragment")
+		}
+		cond, err := sc.compileExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := sc.compileStmts(s.Body.List)
+		if err != nil {
+			return nil, err
+		}
+		var els []symStmt
+		if s.Else != nil {
+			els, err = sc.compileStmt(s.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []symStmt{&sIf{pos: s.Pos(), cond: cond, then: then, els: els}}, nil
+
+	case *ast.AssignStmt:
+		return sc.compileAssign(s)
+
+	case *ast.SwitchStmt:
+		return sc.compileSwitch(s)
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := sc.pkg.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "panic" {
+					// Arguments deliberately not compiled: the branch is
+					// an error only if evaluation reaches it.
+					return []symStmt{&sPanic{pos: s.Pos()}}, nil
+				}
+			}
+		}
+		return nil, symErrf(s.Pos(), "expression statement is outside the symbolic fragment")
+
+	default:
+		return nil, symErrf(s.Pos(), "%T is outside the symbolic fragment (ints, bools, structs, if/switch, calls only)", s)
+	}
+}
+
+func (sc *symScope) compileAssign(s *ast.AssignStmt) ([]symStmt, error) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return nil, symErrf(s.Pos(), "%s assignment is outside the symbolic fragment", s.Tok)
+	}
+	as := &sAssign{pos: s.Pos()}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		e, err := sc.compileExpr(s.Rhs[0])
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := e.(*eCall); !ok {
+			return nil, symErrf(s.Pos(), "multi-assignment from a non-call is outside the symbolic fragment")
+		}
+		as.rhs = []symExpr{e}
+		as.spread = true
+	} else {
+		if len(s.Rhs) != len(s.Lhs) {
+			return nil, symErrf(s.Pos(), "unbalanced assignment")
+		}
+		for _, r := range s.Rhs {
+			e, err := sc.compileExpr(r)
+			if err != nil {
+				return nil, err
+			}
+			as.rhs = append(as.rhs, e)
+		}
+	}
+	for _, l := range s.Lhs {
+		lv, err := sc.compileLval(l, s.Tok == token.DEFINE)
+		if err != nil {
+			return nil, err
+		}
+		as.lhs = append(as.lhs, lv)
+	}
+	return []symStmt{as}, nil
+}
+
+func (sc *symScope) compileLval(e ast.Expr, define bool) (symLval, error) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return symLval{pos: e.Pos(), slot: -1}, nil
+		}
+		obj := sc.pkg.Info.ObjectOf(e)
+		if obj == nil {
+			return symLval{}, symErrf(e.Pos(), "cannot resolve %s", e.Name)
+		}
+		if slot, ok := sc.slots[obj]; ok {
+			return symLval{pos: e.Pos(), slot: slot}, nil
+		}
+		if !define {
+			return symLval{}, symErrf(e.Pos(), "assignment to non-local %s is outside the symbolic fragment", e.Name)
+		}
+		return symLval{pos: e.Pos(), slot: sc.newSlot(obj)}, nil
+
+	case *ast.SelectorExpr:
+		// A field write: resolve the base lvalue, then append the field
+		// index. Writes through pointers would mutate the caller's value
+		// — semantics the functional evaluator does not model — so the
+		// base must be a plain struct chain.
+		if bt := sc.pkg.Info.TypeOf(e.X); bt != nil {
+			if _, isPtr := bt.Underlying().(*types.Pointer); isPtr {
+				return symLval{}, symErrf(e.Pos(), "write through pointer %s is outside the symbolic fragment", exprKey(e.X))
+			}
+		}
+		base, err := sc.compileLval(e.X, false)
+		if err != nil {
+			return symLval{}, err
+		}
+		if base.slot < 0 {
+			return symLval{}, symErrf(e.Pos(), "cannot write a field of the blank identifier")
+		}
+		st, ok := symStructOf(sc.pkg.Info.TypeOf(e.X))
+		if !ok {
+			return symLval{}, symErrf(e.Pos(), "field write on non-struct %s", exprKey(e.X))
+		}
+		idx := symFieldIndex(st, e.Sel.Name)
+		if idx < 0 {
+			return symLval{}, symErrf(e.Pos(), "no field %s", e.Sel.Name)
+		}
+		base.pos = e.Pos()
+		base.path = append(append([]int(nil), base.path...), idx)
+		return base, nil
+	}
+	return symLval{}, symErrf(e.Pos(), "%T is not assignable in the symbolic fragment", e)
+}
+
+func (sc *symScope) compileSwitch(s *ast.SwitchStmt) ([]symStmt, error) {
+	if s.Init != nil {
+		return nil, symErrf(s.Pos(), "switch with init statement is outside the symbolic fragment")
+	}
+	sw := &sSwitch{pos: s.Pos()}
+	if s.Tag != nil {
+		tag, err := sc.compileExpr(s.Tag)
+		if err != nil {
+			return nil, err
+		}
+		sw.tag = tag
+	}
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			return nil, symErrf(cl.Pos(), "unexpected %T in switch", cl)
+		}
+		body, err := sc.compileStmts(cc.Body)
+		if err != nil {
+			return nil, err
+		}
+		if cc.List == nil {
+			sw.def = body
+			sw.hasDef = true
+			continue
+		}
+		kase := symCase{body: body}
+		for _, v := range cc.List {
+			e, err := sc.compileExpr(v)
+			if err != nil {
+				return nil, err
+			}
+			kase.vals = append(kase.vals, e)
+		}
+		sw.cases = append(sw.cases, kase)
+	}
+	return []symStmt{sw}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------------
+
+func (sc *symScope) compileExpr(e ast.Expr) (symExpr, error) {
+	// Constant folding through the type checker covers literals, named
+	// constants (local and imported) and constant arithmetic.
+	if tv, ok := sc.pkg.Info.Types[e]; ok && tv.Value != nil {
+		v, err := symConstVal(e.Pos(), tv.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &eConst{pos: e.Pos(), v: v}, nil
+	}
+
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return sc.compileExpr(e.X)
+
+	case *ast.Ident:
+		obj := sc.pkg.Info.ObjectOf(e)
+		if obj == nil {
+			return nil, symErrf(e.Pos(), "cannot resolve %s", e.Name)
+		}
+		if slot, ok := sc.slots[obj]; ok {
+			return &eSlot{pos: e.Pos(), slot: slot, name: e.Name}, nil
+		}
+		return nil, symErrf(e.Pos(), "free identifier %s is outside the symbolic fragment", e.Name)
+
+	case *ast.SelectorExpr:
+		st, ok := symStructOf(sc.pkg.Info.TypeOf(e.X))
+		if !ok {
+			return nil, symErrf(e.Pos(), "selector base %s is not a fragment struct", exprKey(e.X))
+		}
+		idx := symFieldIndex(st, e.Sel.Name)
+		if idx < 0 {
+			return nil, symErrf(e.Pos(), "%s is not a struct field (methods are only callable)", e.Sel.Name)
+		}
+		x, err := sc.compileExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &eField{pos: e.Pos(), x: x, idx: idx, name: e.Sel.Name}, nil
+
+	case *ast.UnaryExpr:
+		if e.Op != token.NOT && e.Op != token.SUB {
+			return nil, symErrf(e.Pos(), "unary %s is outside the symbolic fragment", e.Op)
+		}
+		x, err := sc.compileExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &eUnary{pos: e.Pos(), op: e.Op, x: x}, nil
+
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+		default:
+			return nil, symErrf(e.Pos(), "binary %s is outside the symbolic fragment", e.Op)
+		}
+		x, err := sc.compileExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := sc.compileExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &eBinary{pos: e.Pos(), op: e.Op, x: x, y: y}, nil
+
+	case *ast.CallExpr:
+		return sc.compileCall(e)
+
+	case *ast.CompositeLit:
+		return sc.compileCompositeLit(e)
+	}
+	return nil, symErrf(e.Pos(), "%T is outside the symbolic fragment", e)
+}
+
+func (sc *symScope) compileCall(call *ast.CallExpr) (symExpr, error) {
+	// Integer type conversions are the identity in the fragment.
+	if tv, ok := sc.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return nil, symErrf(call.Pos(), "malformed conversion")
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return sc.compileExpr(call.Args[0])
+		}
+		return nil, symErrf(call.Pos(), "conversion to %s is outside the symbolic fragment", tv.Type)
+	}
+
+	var callee *symFunc
+	var recvArg symExpr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := sc.pkg.Info.ObjectOf(fun)
+		if _, ok := obj.(*types.Builtin); ok {
+			return nil, symErrf(call.Pos(), "builtin %s is outside the symbolic fragment", fun.Name)
+		}
+		fobj, ok := obj.(*types.Func)
+		if !ok {
+			return nil, symErrf(call.Pos(), "call of non-function %s", fun.Name)
+		}
+		fn, err := sc.resolveCallee(call.Pos(), pkgPathOf(fobj), "", fobj.Name())
+		if err != nil {
+			return nil, err
+		}
+		callee = fn
+
+	case *ast.SelectorExpr:
+		if sel, ok := sc.pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, symErrf(call.Pos(), "unresolvable method %s", fun.Sel.Name)
+			}
+			sig, _ := m.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return nil, symErrf(call.Pos(), "method %s has no receiver signature", m.Name())
+			}
+			recvNamed := namedFrom(sig.Recv().Type())
+			if recvNamed == nil {
+				return nil, symErrf(call.Pos(), "interface or unnamed receiver for %s is outside the symbolic fragment", m.Name())
+			}
+			fn, err := sc.resolveCallee(call.Pos(), pkgPathOf(m), recvNamed.Obj().Name(), m.Name())
+			if err != nil {
+				return nil, err
+			}
+			callee = fn
+			r, err := sc.compileExpr(fun.X)
+			if err != nil {
+				return nil, err
+			}
+			recvArg = r
+		} else {
+			// Package-qualified function: pkg.Func(...).
+			fobj, ok := sc.pkg.Info.ObjectOf(fun.Sel).(*types.Func)
+			if !ok {
+				return nil, symErrf(call.Pos(), "call of %s is outside the symbolic fragment", fun.Sel.Name)
+			}
+			fn, err := sc.resolveCallee(call.Pos(), pkgPathOf(fobj), "", fobj.Name())
+			if err != nil {
+				return nil, err
+			}
+			callee = fn
+		}
+
+	default:
+		return nil, symErrf(call.Pos(), "indirect call is outside the symbolic fragment")
+	}
+
+	out := &eCall{pos: call.Pos(), fn: callee}
+	if recvArg != nil {
+		out.args = append(out.args, recvArg)
+	}
+	for _, a := range call.Args {
+		ce, err := sc.compileExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		out.args = append(out.args, ce)
+	}
+	if len(out.args) != len(callee.paramSlots) {
+		return nil, symErrf(call.Pos(), "call of %s with %d args, want %d", callee.name, len(out.args), len(callee.paramSlots))
+	}
+	return out, nil
+}
+
+func (sc *symScope) resolveCallee(pos token.Pos, pkgPath, recvName, funcName string) (*symFunc, error) {
+	dep := sc.pkg.Dep(pkgPath)
+	if dep == nil {
+		return nil, symErrf(pos, "body of %s.%s is not available (package %s not loaded from source)", recvName, funcName, pkgPath)
+	}
+	decl := findFuncDecl(dep, recvName, funcName)
+	if decl == nil {
+		return nil, symErrf(pos, "declaration of %s (receiver %q) not found in %s", funcName, recvName, pkgPath)
+	}
+	fn, err := sc.c.compileFunc(dep, decl)
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (sc *symScope) compileCompositeLit(lit *ast.CompositeLit) (symExpr, error) {
+	st, ok := symStructOf(sc.pkg.Info.TypeOf(lit))
+	if !ok {
+		return nil, symErrf(lit.Pos(), "non-struct composite literal is outside the symbolic fragment")
+	}
+	fields := make([]symExpr, st.NumFields())
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					return nil, symErrf(el.Pos(), "mixed keyed and positional literal")
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					return nil, symErrf(kv.Pos(), "non-identifier literal key")
+				}
+				idx := symFieldIndex(st, key.Name)
+				if idx < 0 {
+					return nil, symErrf(kv.Pos(), "no field %s", key.Name)
+				}
+				e, err := sc.compileExpr(kv.Value)
+				if err != nil {
+					return nil, err
+				}
+				fields[idx] = e
+			}
+		} else {
+			if len(lit.Elts) != st.NumFields() {
+				return nil, symErrf(lit.Pos(), "positional literal with %d of %d fields", len(lit.Elts), st.NumFields())
+			}
+			for i, el := range lit.Elts {
+				e, err := sc.compileExpr(el)
+				if err != nil {
+					return nil, err
+				}
+				fields[i] = e
+			}
+		}
+	}
+	for i := range fields {
+		if fields[i] == nil {
+			z, err := symZeroVal(lit.Pos(), st.Field(i).Type())
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = &eConst{pos: lit.Pos(), v: z}
+		}
+	}
+	return &eStruct{pos: lit.Pos(), fields: fields}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Type helpers
+// ---------------------------------------------------------------------------
+
+// symStructOf unwraps t (pointers, named types, generic instances) to a
+// struct usable in the fragment.
+func symStructOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// symFieldIndex finds the declared index of a direct (non-embedded)
+// field.
+func symFieldIndex(st *types.Struct, name string) int {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func symConstVal(pos token.Pos, v constant.Value) (symVal, error) {
+	switch v.Kind() {
+	case constant.Int:
+		n, ok := constant.Int64Val(v)
+		if !ok {
+			return symVal{}, symErrf(pos, "constant %s overflows the fragment's int64", v)
+		}
+		return symIntVal(n), nil
+	case constant.Bool:
+		return symBoolVal(constant.BoolVal(v)), nil
+	}
+	return symVal{}, symErrf(pos, "constant kind %v is outside the symbolic fragment", v.Kind())
+}
+
+// symZeroVal is the fragment zero value of t.
+func symZeroVal(pos token.Pos, t types.Type) (symVal, error) {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch {
+		case b.Info()&types.IsInteger != 0:
+			return symIntVal(0), nil
+		case b.Info()&types.IsBoolean != 0:
+			return symBoolVal(false), nil
+		}
+		return symVal{}, symErrf(pos, "zero value of %s is outside the symbolic fragment", t)
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		fields := make([]symVal, st.NumFields())
+		for i := range fields {
+			z, err := symZeroVal(pos, st.Field(i).Type())
+			if err != nil {
+				return symVal{}, err
+			}
+			fields[i] = z
+		}
+		return symStructVal(fields...), nil
+	}
+	return symVal{}, symErrf(pos, "zero value of %s is outside the symbolic fragment", t)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+// symEval runs compiled functions; the step budget bounds every top-level
+// call (the fragment has no loops, so hitting it means a compiler bug).
+type symEval struct {
+	steps int
+	limit int
+}
+
+func newSymEval() *symEval { return &symEval{limit: 100_000} }
+
+// call evaluates fn on args (receiver first when the function has one)
+// and returns its results.
+func (ev *symEval) call(fn *symFunc, args []symVal) ([]symVal, error) {
+	ev.steps = 0
+	return ev.invoke(fn, args)
+}
+
+func (ev *symEval) invoke(fn *symFunc, args []symVal) ([]symVal, error) {
+	if len(args) != len(fn.paramSlots) {
+		return nil, fmt.Errorf("symir: %s called with %d args, want %d", fn.name, len(args), len(fn.paramSlots))
+	}
+	frame := make([]symVal, fn.nslots)
+	for i, slot := range fn.paramSlots {
+		if slot >= 0 {
+			frame[slot] = args[i]
+		}
+	}
+	for i, slot := range fn.resultSlots {
+		frame[slot] = fn.resultInit[i]
+	}
+	ret, returned, err := ev.execStmts(fn.body, frame)
+	if err != nil {
+		return nil, err
+	}
+	if !returned {
+		return nil, fmt.Errorf("symir: %s completed without returning", fn.name)
+	}
+	if len(ret) != fn.results {
+		return nil, fmt.Errorf("symir: %s returned %d values, want %d", fn.name, len(ret), fn.results)
+	}
+	return ret, nil
+}
+
+func (ev *symEval) execStmts(stmts []symStmt, frame []symVal) ([]symVal, bool, error) {
+	for _, s := range stmts {
+		ev.steps++
+		if ev.steps > ev.limit {
+			return nil, false, fmt.Errorf("symir: step budget exceeded")
+		}
+		switch s := s.(type) {
+		case *sReturn:
+			var out []symVal
+			if len(s.exprs) == 1 {
+				vals, err := ev.evalMulti(s.exprs[0], frame)
+				if err != nil {
+					return nil, false, err
+				}
+				out = vals
+			} else {
+				for _, e := range s.exprs {
+					v, err := ev.eval(e, frame)
+					if err != nil {
+						return nil, false, err
+					}
+					out = append(out, v)
+				}
+			}
+			return out, true, nil
+
+		case *sIf:
+			cond, err := ev.eval(s.cond, frame)
+			if err != nil {
+				return nil, false, err
+			}
+			branch := s.then
+			if !cond.isTrue() {
+				branch = s.els
+			}
+			ret, returned, err := ev.execStmts(branch, frame)
+			if err != nil || returned {
+				return ret, returned, err
+			}
+
+		case *sAssign:
+			var vals []symVal
+			if s.spread {
+				vs, err := ev.evalMulti(s.rhs[0], frame)
+				if err != nil {
+					return nil, false, err
+				}
+				vals = vs
+			} else {
+				for _, e := range s.rhs {
+					v, err := ev.eval(e, frame)
+					if err != nil {
+						return nil, false, err
+					}
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) != len(s.lhs) {
+				return nil, false, fmt.Errorf("symir: assignment of %d values to %d targets", len(vals), len(s.lhs))
+			}
+			for i, lv := range s.lhs {
+				if lv.slot < 0 {
+					continue
+				}
+				frame[lv.slot] = setPath(frame[lv.slot], lv.path, vals[i])
+			}
+
+		case *sSwitch:
+			body, err := ev.pickCase(s, frame)
+			if err != nil {
+				return nil, false, err
+			}
+			ret, returned, err := ev.execStmts(body, frame)
+			if err != nil || returned {
+				return ret, returned, err
+			}
+
+		case *sPanic:
+			return nil, false, symErrf(s.pos, "evaluation reached a panic statement")
+
+		default:
+			return nil, false, fmt.Errorf("symir: unknown statement %T", s)
+		}
+	}
+	return nil, false, nil
+}
+
+func (ev *symEval) pickCase(s *sSwitch, frame []symVal) ([]symStmt, error) {
+	var tag *symVal
+	if s.tag != nil {
+		v, err := ev.eval(s.tag, frame)
+		if err != nil {
+			return nil, err
+		}
+		tag = &v
+	}
+	for _, c := range s.cases {
+		for _, ve := range c.vals {
+			v, err := ev.eval(ve, frame)
+			if err != nil {
+				return nil, err
+			}
+			if tag != nil {
+				if v.n == tag.n && v.kind != symStruct {
+					return c.body, nil
+				}
+			} else if v.isTrue() {
+				return c.body, nil
+			}
+		}
+	}
+	if s.hasDef {
+		return s.def, nil
+	}
+	return nil, nil
+}
+
+// setPath functionally replaces the value at a field path inside root.
+func setPath(root symVal, path []int, v symVal) symVal {
+	if len(path) == 0 {
+		return v
+	}
+	return root.withField(path[0], setPath(root.elems[path[0]], path[1:], v))
+}
+
+func (ev *symEval) eval(e symExpr, frame []symVal) (symVal, error) {
+	vals, err := ev.evalMulti(e, frame)
+	if err != nil {
+		return symVal{}, err
+	}
+	if len(vals) != 1 {
+		return symVal{}, fmt.Errorf("symir: %d-valued expression in single-value context", len(vals))
+	}
+	return vals[0], nil
+}
+
+func (ev *symEval) evalMulti(e symExpr, frame []symVal) ([]symVal, error) {
+	ev.steps++
+	if ev.steps > ev.limit {
+		return nil, fmt.Errorf("symir: step budget exceeded")
+	}
+	switch e := e.(type) {
+	case *eConst:
+		return []symVal{e.v}, nil
+
+	case *eSlot:
+		return []symVal{frame[e.slot]}, nil
+
+	case *eField:
+		x, err := ev.eval(e.x, frame)
+		if err != nil {
+			return nil, err
+		}
+		if x.kind != symStruct || e.idx >= len(x.elems) {
+			return nil, symErrf(e.pos, "field %s on non-struct value", e.name)
+		}
+		return []symVal{x.elems[e.idx]}, nil
+
+	case *eUnary:
+		x, err := ev.eval(e.x, frame)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case token.NOT:
+			return []symVal{symBoolVal(!x.isTrue())}, nil
+		case token.SUB:
+			return []symVal{symIntVal(-x.n)}, nil
+		}
+		return nil, symErrf(e.pos, "bad unary %s", e.op)
+
+	case *eBinary:
+		return ev.evalBinary(e, frame)
+
+	case *eCall:
+		args := make([]symVal, len(e.args))
+		for i, a := range e.args {
+			v, err := ev.eval(a, frame)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return ev.invoke(e.fn, args)
+
+	case *eStruct:
+		fields := make([]symVal, len(e.fields))
+		for i, f := range e.fields {
+			v, err := ev.eval(f, frame)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = v
+		}
+		return []symVal{symStructVal(fields...)}, nil
+	}
+	return nil, fmt.Errorf("symir: unknown expression %T", e)
+}
+
+func (ev *symEval) evalBinary(e *eBinary, frame []symVal) ([]symVal, error) {
+	if e.op == token.LAND || e.op == token.LOR {
+		x, err := ev.eval(e.x, frame)
+		if err != nil {
+			return nil, err
+		}
+		if (e.op == token.LAND && !x.isTrue()) || (e.op == token.LOR && x.isTrue()) {
+			return []symVal{x}, nil
+		}
+		y, err := ev.eval(e.y, frame)
+		if err != nil {
+			return nil, err
+		}
+		return []symVal{y}, nil
+	}
+	x, err := ev.eval(e.x, frame)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ev.eval(e.y, frame)
+	if err != nil {
+		return nil, err
+	}
+	switch e.op {
+	case token.ADD:
+		return []symVal{symIntVal(x.n + y.n)}, nil
+	case token.SUB:
+		return []symVal{symIntVal(x.n - y.n)}, nil
+	case token.MUL:
+		return []symVal{symIntVal(x.n * y.n)}, nil
+	case token.QUO, token.REM:
+		if y.n == 0 {
+			return nil, symErrf(e.pos, "division by zero")
+		}
+		if e.op == token.QUO {
+			return []symVal{symIntVal(x.n / y.n)}, nil
+		}
+		return []symVal{symIntVal(x.n % y.n)}, nil
+	case token.EQL:
+		return []symVal{symBoolVal(x.key() == y.key())}, nil
+	case token.NEQ:
+		return []symVal{symBoolVal(x.key() != y.key())}, nil
+	case token.LSS:
+		return []symVal{symBoolVal(x.n < y.n)}, nil
+	case token.LEQ:
+		return []symVal{symBoolVal(x.n <= y.n)}, nil
+	case token.GTR:
+		return []symVal{symBoolVal(x.n > y.n)}, nil
+	case token.GEQ:
+		return []symVal{symBoolVal(x.n >= y.n)}, nil
+	}
+	return nil, symErrf(e.pos, "bad binary %s", e.op)
+}

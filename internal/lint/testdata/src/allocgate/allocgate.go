@@ -1,0 +1,31 @@
+// Fixture for the allocgate analyzer: two hot functions with deliberate
+// heap allocations (a returned pointer and a variable-size make), one
+// clean hot function, and an unannotated allocator the gate must ignore.
+package allocgate
+
+type box struct{ v int }
+
+//allocgate:hot
+func hotAlloc(n int) *box {
+	b := &box{v: n} // want `hot function hotAlloc allocates on the heap`
+	return b
+}
+
+//allocgate:hot
+func hotSlice(n int) int {
+	s := make([]int, n) // want `hot function hotSlice allocates on the heap`
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+//allocgate:hot
+func hotClean(a, b int) int {
+	return a + b
+}
+
+func coldAlloc(n int) *box {
+	return &box{v: n}
+}

@@ -1,0 +1,110 @@
+// Fixture for the rulecheck analyzer: local copies of the SSToken
+// guard/command pair, deliberately perturbed, annotated against the
+// registered "dijkstra" reference. The sweep diffs this source against
+// the tables compiled from the real internal/dijkstra package, so each
+// perturbation surfaces as a concrete (view → transition) witness.
+package rulecheck
+
+// State mirrors dijkstra.State's layout (one counter field).
+type State struct{ X int }
+
+// View mirrors statemodel.View's canonical field order.
+type View struct {
+	I    int
+	N    int
+	Self State
+	Pred State
+	Succ State
+}
+
+func (v View) Bottom() bool { return v.I == 0 }
+
+// Alg mirrors dijkstra.Algorithm's configuration fields.
+type Alg struct {
+	n, k int
+}
+
+// EnabledRule has the bottom guard inverted: real SSToken enables the
+// bottom process on counter equality, this copy on inequality.
+//
+//rulecheck:relation dijkstra
+func (a *Alg) EnabledRule(v View) int { // want `source EnabledRule disagrees with the compiled rule table .*64 of 128 valuations differ`
+	if v.Bottom() {
+		if v.Self.X != v.Pred.X {
+			return 1
+		}
+		return 0
+	}
+	if v.Self.X != v.Pred.X {
+		return 1
+	}
+	return 0
+}
+
+// Apply increments in both arms: real SSToken copies the predecessor's
+// counter at non-bottom processes.
+//
+//rulecheck:relation dijkstra
+func (a *Alg) Apply(v View, rule int) State { // want `source Apply disagrees with the compiled next-state table`
+	if v.Bottom() {
+		return State{X: (v.Pred.X + 1) % a.k}
+	}
+	return State{X: (v.Pred.X + 1) % a.k}
+}
+
+// GoodGuard is the faithful SSToken token condition.
+//
+//rulecheck:guard dijkstra token
+func GoodGuard(v View) bool {
+	if v.I == 0 {
+		return v.Self.X == v.Pred.X
+	}
+	return v.Self.X != v.Pred.X
+}
+
+// GoodGuardX is GoodGuard on bare counters — the args= form.
+//
+//rulecheck:guard dijkstra token args=I,Self.X,Pred.X
+func GoodGuardX(i, selfX, predX int) bool {
+	if i == 0 {
+		return selfX == predX
+	}
+	return selfX != predX
+}
+
+// BadGuard inverts the bottom case.
+//
+//rulecheck:guard dijkstra token
+func BadGuard(v View) bool { // want `guard group "token" is not pointwise equal`
+	if v.I == 0 {
+		return v.Self.X != v.Pred.X
+	}
+	return v.Self.X != v.Pred.X
+}
+
+type node struct {
+	state State
+	alg   *Alg
+}
+
+// goodStep follows the composite-atomicity shape of Algorithm 4.
+//
+//rulecheck:step
+func (nd *node) goodStep(v View) {
+	rule := nd.alg.EnabledRule(v)
+	if rule == 0 {
+		return
+	}
+	nd.state = nd.alg.Apply(v, rule)
+}
+
+// badStep applies the rule to a different view than the one the rule was
+// evaluated on.
+//
+//rulecheck:step
+func (nd *node) badStep(v, w View) {
+	rule := nd.alg.EnabledRule(v)
+	if rule != 0 {
+		nd.state = nd.alg.Apply(w, rule) // want `Apply must be called with the same`
+	}
+}

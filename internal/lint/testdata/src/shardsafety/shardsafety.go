@@ -1,0 +1,65 @@
+// Fixture for the shardsafety analyzer: a miniature sharded engine whose
+// worker leaks across its arc in the three ways the analyzer guards —
+// indexing per-node state with a foreign index, enqueueing a record with
+// a foreign destination, and calling a worker with a foreign node at an
+// owns position. The gate call with the same foreign record is legal.
+package shardsafety
+
+type rec struct {
+	node    int
+	payload int
+}
+
+type shard struct{ heap []rec }
+
+// pop materializes the next record of the shard's heap; its destination
+// is owned by construction.
+//
+//shardsafety:source
+func (sh *shard) pop(r *rec) {}
+
+type engine struct {
+	nodes []int
+	links []int
+}
+
+// succ maps a node index to its ring successor — another arc's index.
+//
+//shardsafety:neighbor
+func (e *engine) succ(node int) int { return node + 1 }
+
+// emit is the sanctioned shard-crossing point.
+//
+//shardsafety:gate
+func (e *engine) emit(sh *shard, r rec) {}
+
+// push enqueues a record destined for an owned node.
+//
+//shardsafety:worker owns=r.node
+func (e *engine) push(sh *shard, r rec) {
+	sh.heap = append(sh.heap, r)
+}
+
+// announce steps an owned node.
+//
+//shardsafety:worker owns=node
+func (e *engine) announce(sh *shard, node int) {
+	e.nodes[node]++
+}
+
+// epoch drains one record and touches both its own arc and its neighbor's.
+//
+//shardsafety:worker
+func (e *engine) epoch(sh *shard) {
+	var r rec
+	sh.pop(&r)
+	e.nodes[r.node]++
+	e.links[r.node+1]--
+	peer := e.succ(r.node)
+	e.nodes[peer]++ // want `epoch indexes nodes with a foreign node index peer`
+	out := rec{node: peer, payload: r.payload}
+	e.emit(sh, out)
+	e.push(sh, out)      // want `epoch passes a foreign value for r.node of worker push`
+	e.announce(sh, peer) // want `epoch passes a foreign value for node of worker announce`
+	e.announce(sh, r.node)
+}

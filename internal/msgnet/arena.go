@@ -74,6 +74,8 @@ func (a *Arena[P]) Reset() {
 
 // alloc returns a free slot index, recycling the free list before growing
 // the slab.
+//
+//allocgate:hot
 func (a *Arena[P]) alloc() int32 {
 	if s := a.free; s >= 0 {
 		a.free = a.slots[s].next
@@ -85,6 +87,8 @@ func (a *Arena[P]) alloc() int32 {
 
 // release puts a slot back on the free list, dropping its payload so the
 // arena keeps nothing alive.
+//
+//allocgate:hot
 func (a *Arena[P]) release(s int32) {
 	var zero P
 	sl := &a.slots[s]
@@ -115,6 +119,8 @@ func (a *Arena[P]) before(x, y int32) bool {
 
 // push schedules *e. The event is copied once into an arena slot;
 // nothing escapes to the garbage collector and e is not retained.
+//
+//allocgate:hot
 func (a *Arena[P]) push(e *event[P]) {
 	s := a.alloc()
 	e.next = freePos
@@ -134,6 +140,8 @@ func (a *Arena[P]) pop() event[P] {
 // popInto removes the minimum event into *e, releasing its slot. The
 // out-parameter form lets the run loop reuse one stack slot per step
 // instead of copying the event through every return frame.
+//
+//allocgate:hot
 func (a *Arena[P]) popInto(e *event[P]) {
 	s := a.heap[0].slot
 	*e = a.slots[s]
@@ -175,6 +183,8 @@ func (a *Arena[P]) remove(s int32) event[P] {
 
 // up sifts entry e toward the root starting from the hole at heap index
 // i. Each displaced entry is written once.
+//
+//allocgate:hot
 func (a *Arena[P]) up(i int, e heapEntry) {
 	for i > 0 {
 		p := (i - 1) / arity
@@ -189,6 +199,8 @@ func (a *Arena[P]) up(i int, e heapEntry) {
 
 // down sifts entry e toward the leaves starting from the hole at heap
 // index i.
+//
+//allocgate:hot
 func (a *Arena[P]) down(i int, e heapEntry) {
 	n := len(a.heap)
 	for {

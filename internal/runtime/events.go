@@ -87,6 +87,8 @@ func heapLess(a, b heapEntry) bool {
 
 // alloc grabs a free slot index, growing the arena when the free list is
 // dry. Growth appends (amortized, allocation-free in steady state).
+//
+//allocgate:hot
 func (sh *engShard[S]) alloc() int32 {
 	if sh.free >= 0 {
 		idx := sh.free
@@ -97,12 +99,18 @@ func (sh *engShard[S]) alloc() int32 {
 	return int32(len(sh.slots) - 1)
 }
 
+// release returns a slot to the free list.
+//
+//allocgate:hot
 func (sh *engShard[S]) release(idx int32) {
 	sh.slots[idx].next = sh.free
 	sh.free = idx
 }
 
 // push inserts rec into the shard's arena and heap.
+//
+//shardsafety:worker owns=rec.node
+//allocgate:hot
 func (sh *engShard[S]) push(rec eventRec[S]) {
 	idx := sh.alloc()
 	s := &sh.slots[idx]
@@ -112,7 +120,11 @@ func (sh *engShard[S]) push(rec eventRec[S]) {
 }
 
 // pop removes the minimum event into rec and releases its slot. The heap
-// must be non-empty.
+// must be non-empty. The popped record's destination is owned by the
+// shard: only owned-destination records ever enter a shard's heap.
+//
+//shardsafety:source
+//allocgate:hot
 func (sh *engShard[S]) pop(rec *eventRec[S]) {
 	top := sh.heap[0]
 	last := len(sh.heap) - 1
@@ -129,6 +141,8 @@ func (sh *engShard[S]) pop(rec *eventRec[S]) {
 
 // up sifts ent from hole i toward the root (hole-based: ent is written
 // exactly once, at its final position).
+//
+//allocgate:hot
 func (sh *engShard[S]) up(i int, ent heapEntry) {
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -142,6 +156,8 @@ func (sh *engShard[S]) up(i int, ent heapEntry) {
 }
 
 // down sifts ent from hole i toward the leaves.
+//
+//allocgate:hot
 func (sh *engShard[S]) down(i int, ent heapEntry) {
 	n := len(sh.heap)
 	for {
@@ -172,13 +188,22 @@ func (sh *engShard[S]) down(i int, ent heapEntry) {
 // SPSC rings
 // ---------------------------------------------------------------------------
 
-// spscCap bounds one ring's backlog. Each ring serves exactly one
+// spscCap bounds one ring's fixed buffer. Each ring serves exactly one
 // directed boundary link, and the one-message-per-direction rule spaces
 // admitted sends at least Delay (= one epoch) apart, so at most two
 // entries are pushed per epoch and each is consumed one epoch later:
-// steady-state occupancy never exceeds four. Overflow is therefore an
-// engine invariant violation, not a load condition, and panics.
+// steady-state occupancy never exceeds four. A backlog beyond the fixed
+// buffer (a delay ≫ epoch workload, or a future scheduler relaxing the
+// two-per-epoch cadence) spills into an unbounded overflow stack instead
+// of panicking — correctness never depends on the ring size, only the
+// fast path does.
 const spscCap = 16
+
+// spscNode boxes one overflowed record on the spill stack.
+type spscNode[S comparable] struct {
+	rec  eventRec[S]
+	next *spscNode[S]
+}
 
 // spsc is a single-producer single-consumer ring buffer carrying
 // cross-shard event records. The producer shard pushes during its epoch;
@@ -191,24 +216,49 @@ type spsc[S comparable] struct {
 	head atomic.Uint32 // consumer cursor
 	_    [64]byte
 	tail atomic.Uint32 // producer cursor
+
+	// ovf is the overflow stack, used only when the fixed buffer is
+	// full. The producer CAS-pushes (a plain store would race the
+	// consumer's Swap below), the consumer swaps the whole stack out.
+	// Stack order is irrelevant: every drained record goes through the
+	// shard heap, which orders by the unique (at, key2).
+	ovf atomic.Pointer[spscNode[S]]
 }
 
+//allocgate:hot
 func (q *spsc[S]) pushRing(rec eventRec[S]) {
 	t := q.tail.Load()
-	if t-q.head.Load() >= spscCap {
-		panic("runtime: SPSC ring overflow — one-message-per-direction invariant broken")
+	if t-q.head.Load() < spscCap {
+		q.buf[t%spscCap] = rec
+		q.tail.Store(t + 1)
+		return
 	}
-	q.buf[t%spscCap] = rec
-	q.tail.Store(t + 1)
+	//lint:ignore hotpath,allocgate the overflow spill boxes the record by design; the fixed ring serves the steady state alloc-free
+	n := &spscNode[S]{rec: rec}
+	for {
+		n.next = q.ovf.Load()
+		if q.ovf.CompareAndSwap(n.next, n) {
+			return
+		}
+	}
 }
 
-// drainInto moves every visible entry into the shard's heap.
+// drainInto moves every visible entry — ring first, then the overflow
+// stack — into the shard's heap. It is the receiving side of the SPSC
+// crossing: everything it drains was addressed to sh by the sender's
+// gate, so its pushes are exempt from provenance checks.
+//
+//shardsafety:gate
+//allocgate:hot
 func (q *spsc[S]) drainInto(sh *engShard[S]) {
 	h := q.head.Load()
 	for t := q.tail.Load(); h != t; h++ {
 		sh.push(q.buf[h%spscCap])
 	}
 	q.head.Store(h)
+	for n := q.ovf.Swap(nil); n != nil; n = n.next {
+		sh.push(n.rec)
+	}
 }
 
 // ---------------------------------------------------------------------------

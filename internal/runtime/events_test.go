@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+// drainShard pops every event out of sh's heap in order.
+func drainShard(sh *engShard[int]) []eventRec[int] {
+	var out []eventRec[int]
+	for len(sh.heap) > 0 {
+		var rec eventRec[int]
+		sh.pop(&rec)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestSPSCOverflowDrain regression-tests the overflow growth path: a
+// backlog far beyond the fixed ring (the delay ≫ epoch shape that used
+// to panic on the 17th push) spills into the overflow stack, and a
+// single drain recovers every record through the shard heap in (at,
+// key2) order.
+func TestSPSCOverflowDrain(t *testing.T) {
+	q := &spsc[int]{}
+	const total = 3*spscCap + 5
+	for i := 0; i < total; i++ {
+		q.pushRing(eventRec[int]{at: float64(i), key2: uint64(i), node: 0, payload: i})
+		if i < spscCap && q.ovf.Load() != nil {
+			t.Fatalf("push %d spilled to the overflow stack while the ring had room", i)
+		}
+	}
+	if q.ovf.Load() == nil {
+		t.Fatalf("pushing %d records never engaged the overflow stack", total)
+	}
+	sh := &engShard[int]{free: -1}
+	q.drainInto(sh)
+	if q.ovf.Load() != nil {
+		t.Fatal("drainInto left records on the overflow stack")
+	}
+	recs := drainShard(sh)
+	if len(recs) != total {
+		t.Fatalf("drained %d records, want %d", len(recs), total)
+	}
+	for i, rec := range recs {
+		if rec.key2 != uint64(i) || rec.payload != i {
+			t.Fatalf("record %d = {key2:%d payload:%d}, want {key2:%d payload:%d}",
+				i, rec.key2, rec.payload, i, i)
+		}
+	}
+}
+
+// TestSPSCOverflowConcurrent races one producer against one consumer
+// across the ring/overflow boundary; under -race this pins the
+// CAS-push / Swap-drain protocol on the overflow stack.
+func TestSPSCOverflowConcurrent(t *testing.T) {
+	q := &spsc[int]{}
+	const total = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			q.pushRing(eventRec[int]{at: float64(i), key2: uint64(i), payload: i})
+		}
+	}()
+	sh := &engShard[int]{free: -1}
+	seen := make([]bool, total)
+	got := 0
+	for got < total {
+		q.drainInto(sh)
+		for len(sh.heap) > 0 {
+			var rec eventRec[int]
+			sh.pop(&rec)
+			if rec.payload < 0 || rec.payload >= total || seen[rec.payload] {
+				t.Fatalf("record %d duplicated or out of range", rec.payload)
+			}
+			seen[rec.payload] = true
+			got++
+		}
+	}
+	wg.Wait()
+	q.drainInto(sh)
+	if extra := len(sh.heap); extra != 0 {
+		t.Fatalf("consumer saw %d records beyond the %d produced", extra, total)
+	}
+}

@@ -335,6 +335,8 @@ func (r *Ring[S]) runNode(nd *liveNode[S]) {
 }
 
 // step executes at most one rule and announces the state.
+//
+//rulecheck:step
 func (nd *liveNode[S]) step() {
 	v := nd.view()
 	if rule := nd.alg.EnabledRule(v); rule != 0 {
