@@ -121,10 +121,13 @@ lint:
 # Bounded differential soak (cmd/ssrmin-soak over internal/crosscheck):
 # seeded scenario sweeps through the state-reading, message-passing, and
 # live execution tiers with the paper invariants — census, convergence
-# bound, one-message-per-direction link rule — checked continuously.
-# Exits non-zero (and writes a shrunk repro to testdata/repros/) on any
-# violation. The deterministic tiers get the adversarial sweeps; the live
-# tier gets a short wall-clock-bound sweep on one worker.
+# bound, one-message-per-direction link rule, token separation — checked
+# continuously. Exits non-zero (and writes a shrunk repro to
+# testdata/repros/) on any violation. The deterministic tiers get the
+# adversarial sweeps; the live tier gets a short wall-clock-bound sweep
+# on one worker; the final invocation is the mutation search, a fixed
+# budget of hill-climb runs over link knobs, fault storms, and
+# churn/splice scripts — the dynamics the static sweeps never exercise.
 soak-short:
 	$(GO) run ./cmd/ssrmin-soak -seeds 12 -name soak-dup -n 4 \
 	  -dup 0.3 -jitter 0.002 -engines state,msgnet -horizon 15
@@ -133,6 +136,9 @@ soak-short:
 	  -engines state,msgnet -horizon 40 -settle 15
 	$(GO) run ./cmd/ssrmin-soak -seeds 3 -name soak-live -engines live \
 	  -horizon 5 -workers 1
+	$(GO) run ./cmd/ssrmin-soak -name soak-search -search -churn \
+	  -search-restarts 3 -search-budget 25 -seed 1 -n 5 -k 12 \
+	  -engines state,msgnet,live -horizon 16 -settle 7
 
 # A quick pass over every native fuzz target (corpus + a few seconds of
 # mutation each); the committed seed corpora always run as plain tests.

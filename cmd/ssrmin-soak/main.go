@@ -63,6 +63,11 @@ func run(args []string, out, errw *os.File) int {
 		shrink      = fs.Bool("shrink", true, "shrink violating scenarios and write repro fixtures")
 		reproDir    = fs.String("repro-dir", "testdata/repros", "directory for repro fixtures")
 		verbose     = fs.Bool("v", false, "print one line per seed")
+
+		search         = fs.Bool("search", false, "mutation search over scenarios instead of a seed sweep")
+		searchBudget   = fs.Int("search-budget", 40, "search: crosscheck runs per restart")
+		searchRestarts = fs.Int("search-restarts", 3, "search: random restarts")
+		churn          = fs.Bool("churn", false, "search: admit join/leave/splice events into the mutation space")
 	)
 	var prof cliconf.Profile
 	prof.Bind(fs)
@@ -114,6 +119,17 @@ func run(args []string, out, errw *os.File) int {
 	if err := probe.Validate(); err != nil {
 		fmt.Fprintln(errw, err)
 		return 2
+	}
+
+	if *search {
+		return runSearch(base, searchOptions{
+			Restarts: *searchRestarts,
+			Budget:   *searchBudget,
+			Seed:     *baseSeed,
+			Churn:    *churn,
+			Shrink:   *shrink,
+			ReproDir: *reproDir,
+		}, obs.New(nil), out, errw)
 	}
 
 	type trial struct {

@@ -1,0 +1,237 @@
+// Adversarial scenario search: instead of sweeping consecutive seeds over
+// one fixed scenario shape, -search hill-climbs (internal/adversary.Climb
+// with random restarts) over the scenario space itself — link knobs,
+// fault storms, and churn/splice scripts — toward invariant violations.
+// The score rewards an actual violation outright and otherwise follows a
+// near-miss gradient: how late the census was last seen outside [1,2]
+// (slow convergence) and how far the settled primary/secondary token
+// separation stretched. Everything is driven by one search seed, so a
+// find is replayable, and any hit is shrunk and persisted exactly like a
+// sweep-mode violation.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ssrmin/internal/adversary"
+	"ssrmin/internal/crosscheck"
+	"ssrmin/internal/obs"
+	"ssrmin/internal/scenario"
+)
+
+// violationScore dominates every near-miss gradient: any candidate that
+// actually breaks an invariant outranks all candidates that merely get
+// close.
+const violationScore = 1_000_000
+
+// searchOptions configures the mutation search.
+type searchOptions struct {
+	// Restarts and Budget mirror adversary.Options: Budget is the number
+	// of neighbor evaluations per restart (each one full crosscheck run).
+	Restarts int
+	Budget   int
+	// Seed drives the whole search trajectory.
+	Seed int64
+	// Churn admits join/leave/splice events into the mutation space.
+	Churn bool
+	// Shrink and ReproDir control violation persistence, as in sweep mode.
+	Shrink   bool
+	ReproDir string
+}
+
+// cloneScenario deep-copies the slices a mutation may edit.
+func cloneScenario(sc crosscheck.Scenario) crosscheck.Scenario {
+	out := sc
+	out.Faults = append([]scenario.Fault(nil), sc.Faults...)
+	out.Engines = append([]string(nil), sc.Engines...)
+	return out
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.3 { // heavier loss regimes drown the refresh loop in noise
+		return 0.3
+	}
+	return p
+}
+
+// faultWindow is the fraction of the horizon in which mutations may place
+// faults: late faults leave no settle room and every violation they cause
+// would be graced anyway.
+const faultWindow = 0.6
+
+// addRandomFault appends one randomly drawn fault to sc. Link cuts are
+// always paired with a heal inside the settle window — a permanently cut
+// ring cannot circulate a token, so an unpaired cut manufactures a
+// violation the paper never promises to survive.
+func addRandomFault(rng *rand.Rand, sc *crosscheck.Scenario, churn bool) {
+	at := rng.Float64() * sc.Horizon * faultWindow
+	kinds := 3
+	if churn {
+		kinds = 6
+	}
+	switch rng.Intn(kinds) {
+	case 0:
+		sc.Faults = append(sc.Faults, scenario.Fault{At: at, Type: "states", Count: 1 + rng.Intn(sc.N)})
+	case 1:
+		sc.Faults = append(sc.Faults, scenario.Fault{At: at, Type: "caches", Count: 1 + rng.Intn(sc.N)})
+	case 2:
+		link := rng.Intn(sc.N)
+		heal := at + rng.Float64()*sc.Settle*0.8
+		sc.Faults = append(sc.Faults,
+			scenario.Fault{At: at, Type: "cut", Link: link},
+			scenario.Fault{At: heal, Type: "heal", Link: link})
+	case 3:
+		sc.Faults = append(sc.Faults, scenario.Fault{At: at, Type: "join", Node: rng.Intn(sc.N)})
+	case 4:
+		sc.Faults = append(sc.Faults, scenario.Fault{At: at, Type: "leave", Node: 1 + rng.Intn(sc.N-1)})
+	case 5:
+		sc.Faults = append(sc.Faults, scenario.Fault{At: at, Type: "splice", Node: rng.Intn(sc.N), Count: 1 + rng.Intn(2)})
+	}
+}
+
+// mutateScenario applies one random mutation operator in place.
+func mutateScenario(rng *rand.Rand, sc *crosscheck.Scenario, churn bool) {
+	switch rng.Intn(10) {
+	case 0:
+		sc.Seed = 1 + rng.Int63n(1<<30)
+	case 1:
+		sc.Link.Loss = clampProb(sc.Link.Loss + (rng.Float64()-0.5)*0.1)
+	case 2:
+		sc.Link.Dup = clampProb(sc.Link.Dup + (rng.Float64()-0.5)*0.1)
+	case 3:
+		sc.Link.Corrupt = clampProb(sc.Link.Corrupt + (rng.Float64()-0.5)*0.05)
+	case 4:
+		j := sc.Link.Jitter + (rng.Float64()-0.5)*sc.Link.Delay
+		if j < 0 {
+			j = 0
+		}
+		if j > sc.Link.Delay {
+			j = sc.Link.Delay
+		}
+		sc.Link.Jitter = j
+	case 5:
+		sc.RandomStart = !sc.RandomStart
+	case 6:
+		sc.IncoherentCaches = !sc.IncoherentCaches
+	case 7:
+		addRandomFault(rng, sc, churn)
+	case 8:
+		if len(sc.Faults) > 0 {
+			i := rng.Intn(len(sc.Faults))
+			sc.Faults = append(sc.Faults[:i], sc.Faults[i+1:]...)
+		}
+	case 9:
+		if len(sc.Faults) > 0 {
+			sc.Faults[rng.Intn(len(sc.Faults))].At = rng.Float64() * sc.Horizon * faultWindow
+		}
+	}
+}
+
+// score evaluates one report: violations dominate, then the near-miss
+// gradient — settled token separation and how late the census was last
+// seen outside its bounds, normalized to each engine's own time axis.
+func score(rep crosscheck.Report) int {
+	s := 0
+	for _, e := range rep.Engines {
+		s += violationScore * len(e.Violations)
+		if e.MaxSeparation > 0 {
+			s += 1000 * e.MaxSeparation
+		}
+		if e.LastBad > 0 {
+			axis := rep.Scenario.Horizon
+			if e.Engine == crosscheck.EngineState {
+				axis = float64(rep.Scenario.Steps)
+			}
+			if axis > 0 {
+				s += int(100 * e.LastBad / axis)
+			}
+		}
+	}
+	return s
+}
+
+// runSearch executes the mutation search from base and reports like the
+// sweep loop: exit 0 on a clean search, 1 on a violation (with the
+// shrunken repro persisted), 2 on an operational error.
+func runSearch(base crosscheck.Scenario, opts searchOptions, o *obs.Observer, out, errw *os.File) int {
+	res := crosscheck.NewResources()
+	evals := 0
+	measure := func(sc crosscheck.Scenario) int {
+		evals++
+		rep, err := crosscheck.RunWithRes(sc, o, res)
+		if err != nil {
+			// An unrunnable mutant (the neighbor's Validate raced a knob
+			// interaction) just scores as the worst candidate.
+			return -1 << 30
+		}
+		return score(rep)
+	}
+	draw := func(rng *rand.Rand) crosscheck.Scenario {
+		sc := cloneScenario(base)
+		sc.Seed = 1 + rng.Int63n(1<<30)
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			addRandomFault(rng, &sc, opts.Churn)
+		}
+		if sc.Validate() != nil {
+			sc = cloneScenario(base)
+			sc.Seed = 1 + rng.Int63n(1<<30)
+		}
+		return sc
+	}
+	neighbor := func(rng *rand.Rand, cur crosscheck.Scenario) crosscheck.Scenario {
+		for try := 0; try < 8; try++ {
+			cand := cloneScenario(cur)
+			mutateScenario(rng, &cand, opts.Churn)
+			if cand.Validate() == nil {
+				return cand
+			}
+		}
+		return cloneScenario(cur)
+	}
+
+	best := adversary.Climb[crosscheck.Scenario](draw, neighbor, measure,
+		adversary.Options{Restarts: opts.Restarts, Budget: opts.Budget, Seed: opts.Seed})
+
+	if best.Score < violationScore {
+		fmt.Fprintf(out, "search: clean after %d runs (search seed %d); best near-miss score %d (scenario seed %d, %d faults, loss=%.3f dup=%.3f corrupt=%.3f)\n",
+			evals, opts.Seed, best.Score, best.Best.Seed, len(best.Best.Faults),
+			best.Best.Link.Loss, best.Best.Link.Dup, best.Best.Link.Corrupt)
+		return 0
+	}
+
+	rep, err := crosscheck.RunWithRes(best.Best, o, res)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	vs := rep.Violations()
+	fmt.Fprintf(out, "search: violation after %d runs (search seed %d, scenario seed %d)\n",
+		evals, opts.Seed, best.Best.Seed)
+	for _, v := range vs {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	if d := rep.Diff(); d != "" {
+		fmt.Fprintf(out, "  differential: %s\n", d)
+	}
+	if opts.Shrink && len(vs) > 0 {
+		min, spent := crosscheck.Shrink(best.Best, 60)
+		fmt.Fprintf(out, "  shrunk in %d runs to n=%d horizon=%v faults=%d engines=%v\n",
+			spent, min.N, min.Horizon, len(min.Faults), min.Engines)
+		path, err := crosscheck.WriteRepro(opts.ReproDir, crosscheck.Repro{
+			Note:     fmt.Sprintf("search violation: %s", vs[0]),
+			Found:    fmt.Sprintf("ssrmin-soak -search seed %d (%d runs)", opts.Seed, evals),
+			Scenario: min,
+		})
+		if err != nil {
+			fmt.Fprintln(errw, err)
+		} else {
+			fmt.Fprintf(out, "  repro fixture: %s\n", path)
+		}
+	}
+	return 1
+}

@@ -38,16 +38,29 @@ type Result[S comparable] struct {
 	Evaluations int
 }
 
-// Search hill-climbs over configurations: starting from a random
-// configuration (drawn by draw), it repeatedly mutates one process's state
-// (via mutate) and keeps the mutant when the measure does not decrease.
-func Search[S comparable](
-	n int,
-	draw func(rng *rand.Rand) statemodel.Config[S],
-	mutate func(rng *rand.Rand, s S) S,
-	measure Measure[S],
+// ClimbResult is the best candidate a generic hill climb found.
+type ClimbResult[T any] struct {
+	// Best is the highest-scoring candidate.
+	Best T
+	// Score is its measure.
+	Score int
+	// Evaluations counts measure invocations.
+	Evaluations int
+}
+
+// Climb hill-climbs with random restarts over an arbitrary candidate
+// space: draw seeds each restart, neighbor proposes a mutant of the
+// current candidate, and a mutant is kept when measure (larger is worse,
+// i.e. better for the adversary) does not decrease. neighbor must return
+// a NEW candidate and leave its argument untouched — the climb aliases
+// candidates instead of cloning, since only neighbor knows how to copy T.
+// The result is a pure function of the seed, so any find is replayable.
+func Climb[T any](
+	draw func(rng *rand.Rand) T,
+	neighbor func(rng *rand.Rand, cur T) T,
+	measure func(T) int,
 	opts Options,
-) Result[S] {
+) ClimbResult[T] {
 	if opts.Restarts <= 0 {
 		opts.Restarts = 5
 	}
@@ -55,29 +68,56 @@ func Search[S comparable](
 		opts.Budget = 200
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	var best Result[S]
+	var best ClimbResult[T]
+	started := false
 	for restart := 0; restart < opts.Restarts; restart++ {
 		cur := draw(rng)
 		curScore := measure(cur)
 		best.Evaluations++
-		if best.Config == nil || curScore > best.Score {
-			best.Config = cur.Clone()
+		if !started || curScore > best.Score {
+			started = true
+			best.Best = cur
 			best.Score = curScore
 		}
 		for i := 0; i < opts.Budget; i++ {
-			cand := cur.Clone()
-			p := rng.Intn(n)
-			cand[p] = mutate(rng, cand[p])
+			cand := neighbor(rng, cur)
 			score := measure(cand)
 			best.Evaluations++
 			if score >= curScore {
 				cur, curScore = cand, score
 				if score > best.Score {
-					best.Config = cand.Clone()
+					best.Best = cand
 					best.Score = score
 				}
 			}
 		}
 	}
 	return best
+}
+
+// Search hill-climbs over configurations: starting from a random
+// configuration (drawn by draw), it repeatedly mutates one process's state
+// (via mutate) and keeps the mutant when the measure does not decrease.
+// It is Climb specialized to Config[S] with the single-process neighbor
+// move; the RNG draw order (position, then state) is part of the
+// contract — same-seed searches reproduce bit for bit.
+func Search[S comparable](
+	n int,
+	draw func(rng *rand.Rand) statemodel.Config[S],
+	mutate func(rng *rand.Rand, s S) S,
+	measure Measure[S],
+	opts Options,
+) Result[S] {
+	r := Climb[statemodel.Config[S]](
+		draw,
+		func(rng *rand.Rand, cur statemodel.Config[S]) statemodel.Config[S] {
+			cand := cur.Clone()
+			p := rng.Intn(n)
+			cand[p] = mutate(rng, cand[p])
+			return cand
+		},
+		func(c statemodel.Config[S]) int { return measure(c) },
+		opts,
+	)
+	return Result[S]{Config: r.Best, Score: r.Score, Evaluations: r.Evaluations}
 }

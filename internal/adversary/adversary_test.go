@@ -125,3 +125,58 @@ func TestSearchDeterministic(t *testing.T) {
 		t.Fatal("same-seed searches diverged")
 	}
 }
+
+// TestClimbGenericCandidates runs the generic climb over a non-config
+// candidate type (a pair of ints scored by a rugged objective): it must
+// be deterministic per seed and never worse than its own restart draws.
+func TestClimbGenericCandidates(t *testing.T) {
+	type pt struct{ x, y int }
+	draw := func(rng *rand.Rand) pt { return pt{x: rng.Intn(100), y: rng.Intn(100)} }
+	neighbor := func(rng *rand.Rand, cur pt) pt {
+		if rng.Intn(2) == 0 {
+			cur.x += rng.Intn(11) - 5
+		} else {
+			cur.y += rng.Intn(11) - 5
+		}
+		return cur
+	}
+	score := func(p pt) int { return -(p.x-42)*(p.x-42) - (p.y-17)*(p.y-17) }
+
+	r1 := Climb[pt](draw, neighbor, score, Options{Restarts: 4, Budget: 100, Seed: 9})
+	r2 := Climb[pt](draw, neighbor, score, Options{Restarts: 4, Budget: 100, Seed: 9})
+	if r1 != r2 {
+		t.Fatalf("same-seed climbs diverged: %+v vs %+v", r1, r2)
+	}
+	if r1.Evaluations != 4*101 {
+		t.Fatalf("evaluations = %d, want 404", r1.Evaluations)
+	}
+	if r1.Score < -200 {
+		t.Fatalf("climb stayed far from the optimum: %+v", r1)
+	}
+}
+
+// TestSearchMatchesClimbSpecialization pins the refactor: Search must be
+// exactly Climb with the single-process neighbor move, so a hand-rolled
+// Climb with that neighbor reproduces Search's result bit for bit.
+func TestSearchMatchesClimbSpecialization(t *testing.T) {
+	a := core.New(4, 5)
+	measure := convergenceMeasure(a)
+	opts := Options{Restarts: 3, Budget: 60, Seed: 21}
+
+	res := Search[core.State](a.N(), drawSSRmin(a), mutateSSRmin(a), measure, opts)
+	mut := mutateSSRmin(a)
+	climbed := Climb[statemodel.Config[core.State]](
+		drawSSRmin(a),
+		func(rng *rand.Rand, cur statemodel.Config[core.State]) statemodel.Config[core.State] {
+			cand := cur.Clone()
+			p := rng.Intn(a.N())
+			cand[p] = mut(rng, cand[p])
+			return cand
+		},
+		func(c statemodel.Config[core.State]) int { return measure(c) },
+		opts,
+	)
+	if res.Score != climbed.Score || !res.Config.Equal(climbed.Best) {
+		t.Fatalf("Search and Climb specialization diverged: %d vs %d", res.Score, climbed.Score)
+	}
+}

@@ -100,9 +100,16 @@ type Scenario struct {
 	// (when the start is perturbed) and after every fault. Default
 	// Horizon/2. The state engine uses the paper's step bound instead.
 	Settle float64 `json:"settle,omitempty"`
+	// MaxSeparation is the settled bound on the ring distance between the
+	// primary and the secondary token holder (default 1: in a legitimate
+	// configuration the holders are the same process or neighbors).
+	MaxSeparation int `json:"maxSeparation,omitempty"`
 	// Faults is the timed fault script (internal/scenario vocabulary).
 	// "states" applies to every engine; "caches", "cut", "heal",
-	// "loss-on" and "loss-off" apply to msgnet only.
+	// "loss-on", "loss-off" and the churn events "join"/"leave"/"splice"
+	// apply to the message-passing tiers (churn: msgnet and the sharded
+	// live engine; the state tier keeps its fixed ring and ignores them,
+	// and the legacy live backend rejects them).
 	Faults []scenario.Fault `json:"faults,omitempty"`
 	// Engines selects the tiers to run (default all three).
 	Engines []string `json:"engines,omitempty"`
@@ -167,6 +174,12 @@ func (s *Scenario) Validate() error {
 	if s.Settle < 0 || s.Settle > s.Horizon {
 		return fmt.Errorf("crosscheck %q: settle %v outside (0, horizon]", s.Name, s.Settle)
 	}
+	if s.MaxSeparation == 0 {
+		s.MaxSeparation = 1
+	}
+	if s.MaxSeparation < 0 {
+		return fmt.Errorf("crosscheck %q: maxSeparation must be positive", s.Name)
+	}
 	if s.LiveScale == 0 {
 		s.LiveScale = 0.01
 	}
@@ -183,6 +196,7 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("crosscheck %q: unknown engine %q", s.Name, e)
 		}
 	}
+	churn := false
 	for i, f := range s.Faults {
 		switch f.Type {
 		case "states", "caches":
@@ -194,11 +208,40 @@ func (s *Scenario) Validate() error {
 				return fmt.Errorf("crosscheck %q: fault %d link %d out of range", s.Name, i, f.Link)
 			}
 		case "loss-on", "loss-off":
+		case "join", "leave":
+			churn = true
+			if f.Node < 0 {
+				return fmt.Errorf("crosscheck %q: fault %d node %d out of range", s.Name, i, f.Node)
+			}
+		case "splice":
+			churn = true
+			if f.Node < 0 {
+				return fmt.Errorf("crosscheck %q: fault %d node %d out of range", s.Name, i, f.Node)
+			}
+			if f.Count == 0 {
+				s.Faults[i].Count = 1
+			} else if f.Count < 0 {
+				return fmt.Errorf("crosscheck %q: fault %d needs a positive count", s.Name, i)
+			}
 		default:
 			return fmt.Errorf("crosscheck %q: fault %d has unknown type %q", s.Name, i, f.Type)
 		}
 		if f.At < 0 || f.At > s.Horizon {
 			return fmt.Errorf("crosscheck %q: fault %d at %v outside horizon", s.Name, i, f.At)
+		}
+	}
+	if churn {
+		if s.LiveLegacy {
+			for _, e := range s.Engines {
+				if e == EngineLive {
+					return fmt.Errorf("crosscheck %q: churn faults need the sharded live backend (liveLegacy is set)", s.Name)
+				}
+			}
+		}
+		if _, maxSize, err := scenario.ChurnPlan(s.N, s.Faults); err != nil {
+			return fmt.Errorf("crosscheck %q: %w", s.Name, err)
+		} else if s.K <= maxSize {
+			return fmt.Errorf("crosscheck %q: K = %d must exceed the churn plan's max ring size %d", s.Name, s.K, maxSize)
 		}
 	}
 	return nil
@@ -249,6 +292,13 @@ type EngineResult struct {
 	LastBad float64 `json:"lastBad"`
 	// RuleExecutions counts guarded-command executions in this tier.
 	RuleExecutions int64 `json:"ruleExecutions"`
+	// SeparationObs counts the instants the separation invariant was
+	// evaluable (exactly one primary and one secondary holder).
+	SeparationObs int `json:"separationObs,omitempty"`
+	// MaxSeparation is the largest settled ring distance observed between
+	// the primary and secondary token holders, or -1 if never evaluable
+	// outside a settle window.
+	MaxSeparation int `json:"maxSeparation,omitempty"`
 	// Violations lists every invariant breach.
 	Violations []Violation `json:"violations,omitempty"`
 }
@@ -386,14 +436,25 @@ func runState(sc Scenario, o *obs.Observer) EngineResult {
 	d := makeDaemon(sc)
 	bound := float64(alg.ConvergenceStepBound())
 	chk := newCensusChecker(EngineState, bound)
+	sep := NewSeparationMonitor(EngineState, sc.MaxSeparation, chk.windows)
 	if sc.perturbedStart() {
 		chk.perturb(0)
 	}
 	inj := fault.NewInjector(sc.Seed + 1)
 
+	members := make([]int, sc.N)
+	for i := range members {
+		members[i] = i
+	}
+	observe := func(t float64, c statemodel.Config[core.State]) {
+		chk.observe(t, verify.Count(c).Privileged)
+		prim, secd := holdersOf(c)
+		sep.Observe(t, members, prim, secd)
+	}
+
 	res := EngineResult{Engine: EngineState}
 	globalStep := 0
-	chk.observe(0, verify.Count(cfg).Privileged)
+	observe(0, cfg)
 
 	runTo := func(target int) {
 		if target <= globalStep {
@@ -406,7 +467,7 @@ func runState(sc Scenario, o *obs.Observer) EngineResult {
 		base := globalStep
 		sim.OnStep = func(step int, moves []statemodel.Move, c statemodel.Config[core.State]) {
 			res.RuleExecutions += int64(len(moves))
-			chk.observe(float64(base+step), verify.Count(c).Privileged)
+			observe(float64(base+step), c)
 		}
 		done := sim.Run(target - globalStep)
 		globalStep += done
@@ -429,11 +490,12 @@ func runState(sc Scenario, o *obs.Observer) EngineResult {
 			return drawState(r, sc.K)
 		})
 		chk.perturb(float64(globalStep))
-		chk.observe(float64(globalStep), verify.Count(cfg).Privileged)
+		observe(float64(globalStep), cfg)
 	}
 	runTo(sc.Steps)
 
 	chk.finish(&res)
+	sep.finish(&res)
 	return res
 }
 
@@ -448,6 +510,7 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 	if shared != nil {
 		arena = shared.Arena
 	}
+	spare, _, _ := scenario.ChurnPlan(sc.N, sc.Faults) // plan validated in Validate
 	ring := cst.NewRing[core.State](alg, init, cst.Options[core.State]{
 		Link: msgnet.LinkParams{
 			Delay:       msgnet.Time(sc.Link.Delay),
@@ -461,6 +524,7 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 		CoherentCaches: !sc.IncoherentCaches,
 		RandomState:    draw,
 		Arena:          arena,
+		Spare:          spare,
 	})
 	if sc.Link.Corrupt > 0 {
 		ring.Net.Corrupt = func(rng *rand.Rand, payload core.State) core.State { return draw(rng) }
@@ -471,6 +535,7 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 
 	mon := NewLinkMonitor()
 	chk := newCensusChecker(EngineMsgnet, sc.Settle)
+	sep := NewSeparationMonitor(EngineMsgnet, sc.MaxSeparation, chk.windows)
 	if sc.perturbedStart() {
 		chk.perturb(0)
 	}
@@ -485,8 +550,18 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 		}
 		mon.Tap(e)
 	}
+	// Ring membership only changes at churn faults, so the order is cached
+	// between them rather than re-walked on every event.
+	var members []int
+	membersStale := true
 	ring.Net.Observer = func(now msgnet.Time) {
-		chk.observe(float64(now), ring.Census(core.HasToken))
+		t := float64(now)
+		chk.observe(t, ring.Census(core.HasToken))
+		if membersStale {
+			members = ring.Members()
+			membersStale = false
+		}
+		sep.Observe(t, members, ring.Holders(core.HasPrimary), ring.Holders(core.HasSecondary))
 	}
 
 	inj := fault.NewInjector(sc.Seed + 1)
@@ -498,15 +573,22 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 		case "caches":
 			fault.CorruptCaches[core.State](inj, ring, f.Count, draw)
 		case "cut":
-			ring.Net.SetLinkUp(f.Link, (f.Link+1)%sc.N, false)
-			ring.Net.SetLinkUp((f.Link+1)%sc.N, f.Link, false)
+			setEdge(ring.Net, f.Link, (f.Link+1)%sc.N, false)
 		case "heal":
-			ring.Net.SetLinkUp(f.Link, (f.Link+1)%sc.N, true)
-			ring.Net.SetLinkUp((f.Link+1)%sc.N, f.Link, true)
+			setEdge(ring.Net, f.Link, (f.Link+1)%sc.N, true)
 		case "loss-on":
 			ring.Net.LossEnabled = true
 		case "loss-off":
 			ring.Net.LossEnabled = false
+		case "join":
+			ring.Join(f.Node, draw(inj.Rand()))
+			membersStale = true
+		case "leave":
+			ring.Leave(f.Node)
+			membersStale = true
+		case "splice":
+			ring.Splice(f.Node, f.Count)
+			membersStale = true
 		}
 		chk.perturb(f.At)
 	}
@@ -515,7 +597,20 @@ func runMsgnet(sc Scenario, o *obs.Observer, shared *Resources) EngineResult {
 	res := EngineResult{Engine: EngineMsgnet, RuleExecutions: int64(ring.RuleExecutions())}
 	res.Violations = append(res.Violations, mon.Finish()...)
 	chk.finish(&res)
+	sep.finish(&res)
 	return res
+}
+
+// setEdge cuts or heals both directions of one ring edge, skipping
+// directions that churn has already removed from the topology — a cut of
+// a spliced-away edge is a no-op, not a crash.
+func setEdge(net *msgnet.Network[core.State], a, b int, up bool) {
+	if net.HasLink(a, b) {
+		net.SetLinkUp(a, b, up)
+	}
+	if net.HasLink(b, a) {
+		net.SetLinkUp(b, a, up)
+	}
 }
 
 // runLive executes the scenario on the live tier. The default backend is
@@ -537,6 +632,7 @@ func runLiveEngine(sc Scenario, o *obs.Observer) EngineResult {
 	alg := core.New(sc.N, sc.K)
 	init := initialConfig(sc)
 	draw := func(r *rand.Rand) core.State { return drawState(r, sc.K) }
+	spare, _, _ := scenario.ChurnPlan(sc.N, sc.Faults) // plan validated in Validate
 	eng := runtime.NewEngine[core.State](alg, init, runtime.Options[core.State]{
 		Delay:          simDur(sc.Link.Delay),
 		Jitter:         simDur(sc.Link.Jitter),
@@ -546,48 +642,68 @@ func runLiveEngine(sc Scenario, o *obs.Observer) EngineResult {
 		CoherentCaches: !sc.IncoherentCaches,
 		RandomState:    draw,
 		Workers:        sc.LiveWorkers,
+		Spare:          spare,
 	})
 	if o != nil {
 		eng.SetObserver(o, core.HasToken)
 	}
 
 	chk := newCensusChecker(EngineLive, sc.Settle)
+	sep := NewSeparationMonitor(EngineLive, sc.MaxSeparation, chk.windows)
 	if sc.perturbedStart() {
 		chk.perturb(0)
 	}
 	// Pre-schedule the whole fault script at exact virtual instants; the
 	// draw order matches the legacy backend's (permutation, then states,
-	// per fault in time order).
+	// per fault in time order). Churn is pre-scheduled the same way, with
+	// joiner states drawn in the same per-fault order the msgnet tier uses.
 	faults := sc.sortedFaults()
 	inj := fault.NewInjector(sc.Seed + 1)
 	for _, f := range faults {
-		if f.Type != "states" {
-			continue
-		}
-		perm := inj.Rand().Perm(sc.N)
-		count := f.Count
-		if count > sc.N {
-			count = sc.N
-		}
-		for _, node := range perm[:count] {
-			eng.ScheduleInject(f.At, node, drawState(inj.Rand(), sc.K))
+		switch f.Type {
+		case "states":
+			perm := inj.Rand().Perm(sc.N)
+			count := f.Count
+			if count > sc.N {
+				count = sc.N
+			}
+			for _, node := range perm[:count] {
+				eng.ScheduleInject(f.At, node, drawState(inj.Rand(), sc.K))
+			}
+		case "join":
+			eng.ScheduleJoin(f.At, f.Node, drawState(inj.Rand(), sc.K))
+		case "leave":
+			eng.ScheduleLeave(f.At, f.Node)
+		case "splice":
+			eng.ScheduleSplice(f.At, f.Node, f.Count)
 		}
 	}
 
+	var members []int
+	membersStale := true
 	fi := 0
 	for eng.Now() < sc.Horizon {
 		eng.RunUntil(eng.Now() + sc.Link.Delay)
 		now := eng.Now()
 		for fi < len(faults) && faults[fi].At <= now {
 			chk.perturb(faults[fi].At)
+			if faults[fi].IsChurn() {
+				membersStale = true
+			}
 			fi++
 		}
 		chk.observe(now, eng.Census(core.HasToken))
+		if membersStale {
+			members = eng.Members()
+			membersStale = false
+		}
+		sep.Observe(now, members, eng.Holders(core.HasPrimary), eng.Holders(core.HasSecondary))
 	}
 	eng.Stop()
 
 	res := EngineResult{Engine: EngineLive, RuleExecutions: eng.RuleExecutions()}
 	chk.finish(&res)
+	sep.finish(&res)
 	return res
 }
 
@@ -613,6 +729,11 @@ func runLiveLegacy(sc Scenario, o *obs.Observer) EngineResult {
 	}
 
 	chk := newCensusChecker(EngineLive, sc.Settle)
+	sep := NewSeparationMonitor(EngineLive, sc.MaxSeparation, chk.windows)
+	members := make([]int, sc.N)
+	for i := range members {
+		members[i] = i
+	}
 	if sc.perturbedStart() {
 		chk.perturb(0)
 	}
@@ -646,6 +767,7 @@ func runLiveLegacy(sc Scenario, o *obs.Observer) EngineResult {
 			chk.perturb(f.At)
 		}
 		chk.observe(simNow, ring.Census(core.HasToken))
+		sep.Observe(simNow, members, ring.Holders(core.HasPrimary), ring.Holders(core.HasSecondary))
 		if elapsed >= total {
 			break
 		}
@@ -655,6 +777,7 @@ func runLiveLegacy(sc Scenario, o *obs.Observer) EngineResult {
 
 	res := EngineResult{Engine: EngineLive, RuleExecutions: ring.RuleExecutions()}
 	chk.finish(&res)
+	sep.finish(&res)
 	return res
 }
 
@@ -671,10 +794,11 @@ func simDur(simSeconds float64) time.Duration {
 // censusChecker evaluates the census invariant over one engine's run:
 // outside the settle windows (after t=0 when the start is perturbed, and
 // after every fault) the census must stay within SSRmin's [1,2] bounds.
+// The windows live in a shared settleWindows so companion monitors (the
+// separation monitor) grace exactly the same instants, deadline included.
 type censusChecker struct {
 	engine     string
-	grace      float64
-	perturbs   []float64 // nondecreasing perturbation instants
+	windows    *settleWindows
 	bounds     verify.CSBounds
 	violations []Violation
 	truncated  int
@@ -686,7 +810,7 @@ type censusChecker struct {
 func newCensusChecker(engine string, grace float64) *censusChecker {
 	return &censusChecker{
 		engine:  engine,
-		grace:   grace,
+		windows: &settleWindows{grace: grace},
 		bounds:  verify.SSRminBounds,
 		minC:    -1,
 		maxC:    -1,
@@ -695,17 +819,10 @@ func newCensusChecker(engine string, grace float64) *censusChecker {
 }
 
 // perturb opens a settle window at instant t.
-func (c *censusChecker) perturb(t float64) { c.perturbs = append(c.perturbs, t) }
+func (c *censusChecker) perturb(t float64) { c.windows.perturb(t) }
 
 // graced reports whether instant t falls inside a settle window.
-func (c *censusChecker) graced(t float64) bool {
-	for i := len(c.perturbs) - 1; i >= 0; i-- {
-		if c.perturbs[i] <= t {
-			return t-c.perturbs[i] < c.grace
-		}
-	}
-	return false
-}
+func (c *censusChecker) graced(t float64) bool { return c.windows.graced(t) }
 
 func (c *censusChecker) observe(t float64, census int) {
 	c.observed++

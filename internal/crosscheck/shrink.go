@@ -22,28 +22,63 @@ import (
 // one run). It returns the smallest violating scenario found and the
 // number of runs spent. sc must already be a violating scenario; if it is
 // not, Shrink returns it unchanged.
+//
+// Shrink preserves the violation, not just "a" violation: every candidate
+// must re-exhibit the full (engine, kind) signature of the original run,
+// so a greedy removal cannot trade the bug being minimized for a
+// different one (e.g. drop the fault behind a link violation because the
+// shorter scenario still breaks the census).
 func Shrink(sc Scenario, budget int) (Scenario, int) {
+	return shrinkWith(sc, budget, Run)
+}
+
+// violationSignature is the set of (engine, kind) pairs of a report.
+func violationSignature(rep Report) map[[2]string]bool {
+	sig := map[[2]string]bool{}
+	for _, v := range rep.Violations() {
+		sig[[2]string{v.Engine, v.Kind}] = true
+	}
+	return sig
+}
+
+// shrinkWith is Shrink with an injectable runner, for testing the greedy
+// loop against synthetic violation landscapes.
+func shrinkWith(sc Scenario, budget int, run func(Scenario) (Report, error)) (Scenario, int) {
 	if err := sc.Validate(); err != nil {
 		return sc, 0
 	}
-	spent := 0
+	if budget < 1 {
+		return sc, 0
+	}
+	spent := 1
+	rep0, err := run(sc)
+	if err != nil || rep0.OK() {
+		return sc, spent
+	}
+	target := violationSignature(rep0)
 	fails := func(c Scenario) bool {
 		if spent >= budget {
 			return false
 		}
 		spent++
-		rep, err := Run(c)
-		return err == nil && !rep.OK()
-	}
-	if !fails(sc) {
-		return sc, spent
+		rep, err := run(c)
+		if err != nil || rep.OK() {
+			return false
+		}
+		sig := violationSignature(rep)
+		for k := range target {
+			if !sig[k] {
+				return false
+			}
+		}
+		return true
 	}
 
 	// Keep only the engines that actually violate: re-running the clean
 	// tiers adds nothing to the repro.
-	if rep, err := Run(sc); err == nil {
+	{
 		var bad []string
-		for _, e := range rep.Engines {
+		for _, e := range rep0.Engines {
 			if !e.OK() {
 				bad = append(bad, e.Engine)
 			}

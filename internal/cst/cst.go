@@ -55,6 +55,11 @@ type Node[S comparable] struct {
 
 	// RuleExecutions counts rules executed by this node.
 	RuleExecutions int
+	// StaleFrames counts discarded deliveries: frames that arrived from a
+	// node that is not (any longer) a ring neighbor, or while detached —
+	// the residue of churn rewiring, already on the medium when the
+	// topology changed.
+	StaleFrames int
 	// OnExecute, when non-nil, is invoked after the node executes a rule.
 	OnExecute func(now msgnet.Time, rule int)
 }
@@ -86,6 +91,34 @@ func NewNode[S comparable](alg statemodel.Algorithm[S], id int, init S, refresh 
 // pred and succ return the ring neighbor ids.
 func (nd *Node[S]) pred() int { return nd.predID }
 func (nd *Node[S]) succ() int { return nd.succID }
+
+// SetNeighbors rewires the node's ring neighbors (churn). The cache slots
+// keep their previous contents: the node has not yet heard from its new
+// neighbor, so its view of that side is arbitrary until the next
+// announcement arrives — the Theorem 4 incoherence that the refresh timer
+// heals, and the reason churn opens a settle window in the monitors.
+func (nd *Node[S]) SetNeighbors(pred, succ int) {
+	nd.predID = pred
+	nd.succID = succ
+}
+
+// Detach removes the node from the ring (a leave, or a not-yet-joined
+// spare). A detached node ignores deliveries and timers and announces to
+// nobody; Start on a detached node is a no-op, so dormant spares consume
+// no events and draw nothing from the RNG until they join.
+func (nd *Node[S]) Detach() {
+	nd.predID = -1
+	nd.succID = -1
+	nd.holdPending = false
+}
+
+// Detached reports whether the node is outside the ring.
+func (nd *Node[S]) Detached() bool { return nd.predID < 0 }
+
+// Neighbors returns the node's current ring neighbor ids (-1, -1 when
+// detached) — what fault injection must target instead of the founding
+// (i±1) mod n once churn has rewired the ring.
+func (nd *Node[S]) Neighbors() (pred, succ int) { return nd.predID, nd.succID }
 
 // State returns the node's current local state q_i.
 func (nd *Node[S]) State() S { return nd.state }
@@ -142,7 +175,12 @@ func (nd *Node[S]) View() statemodel.View[S] {
 
 // Start implements msgnet.Handler: announce the initial state and arm the
 // refresh timer with a random phase so nodes do not beat in lockstep.
+// Detached spares do nothing (and draw nothing): they wake only when a
+// join wires them in.
 func (nd *Node[S]) Start(ctx *msgnet.Context[S]) {
+	if nd.Detached() {
+		return
+	}
 	nd.announce(ctx)
 	phase := msgnet.Time(ctx.Rand().Float64()) * nd.refresh
 	ctx.After(phase, timerRefresh)
@@ -151,17 +189,27 @@ func (nd *Node[S]) Start(ctx *msgnet.Context[S]) {
 // Receive implements msgnet.Handler: Algorithm 4's message action. The
 // payload arrives as a concrete S — the network's frame type — so no
 // type assertion or unboxing happens per message.
+//
+// A frame from a node that is not (any longer) a ring neighbor is
+// discarded: after a splice, frames that were already on a removed link
+// still arrive, and the receiver must treat them as stale rather than
+// poison a cache slot that now describes a different neighbor.
 func (nd *Node[S]) Receive(ctx *msgnet.Context[S], from int, s S) {
-	if !nd.setCacheFast(from, s) {
-		panic(fmt.Sprintf("cst: node %d received from non-neighbor %d", nd.id, from))
+	if nd.Detached() || !nd.setCacheFast(from, s) {
+		nd.StaleFrames++
+		return
 	}
 	nd.executeOne(ctx)
 	nd.announce(ctx)
 }
 
 // Timer implements msgnet.Handler: periodic re-announcement and deferred
-// rule execution after the critical-section dwell.
+// rule execution after the critical-section dwell. A detached node lets
+// its timers lapse (the refresh chain is re-armed by the next join).
 func (nd *Node[S]) Timer(ctx *msgnet.Context[S], kind int) {
+	if nd.Detached() {
+		return
+	}
 	switch kind {
 	case timerRefresh:
 		nd.announce(ctx)
@@ -214,12 +262,22 @@ func (nd *Node[S]) announce(ctx *msgnet.Context[S]) {
 }
 
 // Ring wires n CST nodes into a bidirectional ring over an msgnet
-// simulation.
+// simulation. Rings built with Options.Spare > 0 can be rewired mid-run
+// with Join, Leave and Splice.
 type Ring[S comparable] struct {
 	// Net is the underlying event simulation; run it to advance time.
 	Net *msgnet.Network[S]
-	// Nodes holds the CST nodes, indexed by process id.
+	// Nodes holds the CST nodes, indexed by process id. With spares this
+	// includes dormant not-yet-joined nodes; see Active.
 	Nodes []*Node[S]
+
+	// link is the parameter set applied to links created by churn ops.
+	link msgnet.LinkParams
+	// active[i] reports ring membership; members counts the true ones.
+	active  []bool
+	members int
+	// spareNext is the id of the next dormant spare a Join will wake.
+	spareNext int
 }
 
 // Options configures NewRing.
@@ -247,28 +305,56 @@ type Options[S comparable] struct {
 	// between trials). The caller must not share a live arena between
 	// concurrently running rings.
 	Arena *msgnet.Arena[S]
+	// Spare is the number of dormant extra nodes (ids n..n+Spare-1)
+	// preallocated for mid-run joins. msgnet cannot grow its handler set
+	// after the simulation starts, so every node a churn schedule may ever
+	// join must exist — detached and silent — from the beginning.
+	Spare int
 }
 
-// NewRing builds the network, one node per entry of init.
+// NewRing builds the network, one node per entry of init, plus
+// opts.Spare dormant spares awaiting Join.
 func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S], opts Options[S]) *Ring[S] {
 	n := alg.N()
 	if len(init) != n {
 		panic(fmt.Sprintf("cst: init length %d != n %d", len(init), n))
 	}
-	nodes := make([]*Node[S], n)
-	handlers := make([]msgnet.Handler[S], n)
-	for i := 0; i < n; i++ {
-		nodes[i] = NewNode[S](alg, i, init[i], opts.Refresh)
+	if opts.Spare < 0 {
+		panic("cst: negative spare count")
+	}
+	total := n + opts.Spare
+	nodes := make([]*Node[S], total)
+	handlers := make([]msgnet.Handler[S], total)
+	var zero S
+	for i := 0; i < total; i++ {
+		st := zero
+		if i < n {
+			st = init[i]
+		}
+		nodes[i] = NewNode[S](alg, i, st, opts.Refresh)
 		nodes[i].Hold = opts.Hold
+		if i >= n {
+			nodes[i].Detach()
+		}
 		handlers[i] = nodes[i]
 	}
 	net := msgnet.New(handlers, opts.Seed)
 	if opts.Arena != nil {
 		net.UseArena(opts.Arena)
 	}
-	net.RingLinks(opts.Link)
+	// Ring links between the n founding members only; spares are
+	// link-less until they join. (RingLinks would wire the spares in, so
+	// the loop is inlined here — same edges, same insertion order.)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		net.AddLink(i, j, opts.Link)
+		net.AddLink(j, i, opts.Link)
+	}
 	seedRNG := rand.New(rand.NewSource(opts.Seed + 1))
-	for i, nd := range nodes {
+	active := make([]bool, total)
+	for i := 0; i < n; i++ {
+		nd := nodes[i]
+		active[i] = true
 		p, s := (i-1+n)%n, (i+1)%n
 		if opts.CoherentCaches {
 			nd.SetCache(p, init[p])
@@ -278,7 +364,154 @@ func NewRing[S comparable](alg statemodel.Algorithm[S], init statemodel.Config[S
 			nd.SetCache(s, drawState(seedRNG, opts, init[i]))
 		}
 	}
-	return &Ring[S]{Net: net, Nodes: nodes}
+	return &Ring[S]{
+		Net:       net,
+		Nodes:     nodes,
+		link:      opts.Link,
+		active:    active,
+		members:   n,
+		spareNext: n,
+	}
+}
+
+// Active reports whether node i is currently a ring member.
+func (r *Ring[S]) Active(i int) bool { return r.active[i] }
+
+// MemberCount returns the current ring size.
+func (r *Ring[S]) MemberCount() int { return r.members }
+
+// Members returns the active node ids in ring order, starting at node 0
+// and following successor pointers. Node 0 (the Dijkstra bottom) can
+// never leave, so it always anchors the walk.
+func (r *Ring[S]) Members() []int {
+	out := make([]int, 0, r.members)
+	i := 0
+	for {
+		out = append(out, i)
+		i = r.Nodes[i].succID
+		if i == 0 {
+			break
+		}
+		if len(out) > len(r.Nodes) {
+			panic("cst: successor pointers do not close a ring")
+		}
+	}
+	return out
+}
+
+// Join wakes the next dormant spare, splices it into the ring between
+// `after` and after's current successor, and returns its id. The joiner
+// starts from `state` with self-seeded (incoherent) caches, announces to
+// both new neighbors immediately, and arms its refresh chain with a
+// random phase — the message-passing analogue of a node powering on
+// inside an already running ring.
+func (r *Ring[S]) Join(after int, state S) int {
+	if !r.active[after] {
+		panic(fmt.Sprintf("cst: join anchor %d is not a ring member", after))
+	}
+	if r.spareNext >= len(r.Nodes) {
+		panic("cst: no dormant spare left to join")
+	}
+	j := r.spareNext
+	r.spareNext++
+	a, b := after, r.Nodes[after].succID
+	net := r.Net
+	// The a—b edge is replaced by a—j—b. Frames already in transit on the
+	// removed links still arrive and are discarded as stale.
+	net.RemoveLink(a, b)
+	net.RemoveLink(b, a)
+	net.AddLink(a, j, r.link)
+	net.AddLink(j, a, r.link)
+	net.AddLink(j, b, r.link)
+	net.AddLink(b, j, r.link)
+	jn := r.Nodes[j]
+	jn.state = state
+	jn.SetNeighbors(a, b)
+	// The joiner has not heard from either neighbor: seed its caches with
+	// its own state (arbitrary incoherence, healed by the announcements).
+	jn.cachePred = state
+	jn.cacheSucc = state
+	r.Nodes[a].succID = j
+	r.Nodes[b].predID = j
+	r.active[j] = true
+	r.members++
+	net.SendFrom(j, a, state)
+	net.SendFrom(j, b, state)
+	phase := msgnet.Time(net.Rand().Float64()) * jn.refresh
+	net.StartTimer(j, phase, timerRefresh)
+	return j
+}
+
+// Leave removes node v from the ring and reconnects its neighbors with
+// fresh (idle) links. Node 0 — the Dijkstra bottom the stabilization
+// argument hangs on — can never leave.
+func (r *Ring[S]) Leave(v int) {
+	if v == 0 {
+		panic("cst: node 0 (bottom) cannot leave the ring")
+	}
+	if !r.active[v] {
+		panic(fmt.Sprintf("cst: leave of non-member %d", v))
+	}
+	if r.members-1 < 3 {
+		panic("cst: leave would shrink the ring below 3 members")
+	}
+	nd := r.Nodes[v]
+	a, b := nd.predID, nd.succID
+	net := r.Net
+	net.RemoveLink(v, a)
+	net.RemoveLink(a, v)
+	net.RemoveLink(v, b)
+	net.RemoveLink(b, v)
+	net.AddLink(a, b, r.link)
+	net.AddLink(b, a, r.link)
+	r.Nodes[a].succID = b
+	r.Nodes[b].predID = a
+	nd.Detach()
+	r.active[v] = false
+	r.members--
+}
+
+// Splice removes the arc of count consecutive members following `after`
+// and reconnects the ring with one fresh edge — a multi-node partition
+// healing in a single topology change, the scenario the graceful-handover
+// property is really about. The arc may not contain node 0 or wrap the
+// whole ring.
+func (r *Ring[S]) Splice(after, count int) {
+	if !r.active[after] {
+		panic(fmt.Sprintf("cst: splice anchor %d is not a ring member", after))
+	}
+	if count < 1 {
+		panic("cst: splice count must be >= 1")
+	}
+	if r.members-count < 3 {
+		panic("cst: splice would shrink the ring below 3 members")
+	}
+	//lint:ignore hotpath churn orchestration, cold path
+	victims := make([]int, 0, count)
+	v := r.Nodes[after].succID
+	for i := 0; i < count; i++ {
+		if v == 0 {
+			panic("cst: splice arc contains node 0 (bottom)")
+		}
+		victims = append(victims, v)
+		v = r.Nodes[v].succID
+	}
+	b := v
+	net := r.Net
+	for _, x := range victims {
+		nd := r.Nodes[x]
+		net.RemoveLink(x, nd.predID)
+		net.RemoveLink(nd.predID, x)
+		net.RemoveLink(x, nd.succID)
+		net.RemoveLink(nd.succID, x)
+		nd.Detach()
+		r.active[x] = false
+		r.members--
+	}
+	net.AddLink(after, b, r.link)
+	net.AddLink(b, after, r.link)
+	r.Nodes[after].succID = b
+	r.Nodes[b].predID = after
 }
 
 func drawState[S comparable](rng *rand.Rand, opts Options[S], fallback S) S {
@@ -293,7 +526,10 @@ func drawState[S comparable](rng *rand.Rand, opts Options[S], fallback S) S {
 // is the quantity Theorem 3 bounds.
 func (r *Ring[S]) Census(holder func(statemodel.View[S]) bool) int {
 	count := 0
-	for _, nd := range r.Nodes {
+	for i, nd := range r.Nodes {
+		if !r.active[i] {
+			continue
+		}
 		if holder(nd.View()) {
 			count++
 		}
@@ -301,10 +537,15 @@ func (r *Ring[S]) Census(holder func(statemodel.View[S]) bool) int {
 	return count
 }
 
-// Holders returns the ids of nodes whose cached view satisfies holder.
+// Holders returns the ids of ring members whose cached view satisfies
+// holder. Detached nodes hold nothing: a node outside the ring cannot be
+// in the critical section.
 func (r *Ring[S]) Holders(holder func(statemodel.View[S]) bool) []int {
 	var out []int
 	for i, nd := range r.Nodes {
+		if !r.active[i] {
+			continue
+		}
 		if holder(nd.View()) {
 			out = append(out, i)
 		}
@@ -322,12 +563,15 @@ func (r *Ring[S]) States() statemodel.Config[S] {
 	return cfg
 }
 
-// Coherent reports whether every cache equals the neighbor's true state
-// (Definition 2).
+// Coherent reports whether every ring member's cache equals its true
+// neighbor's state (Definition 2). Neighbors come from the live
+// successor/predecessor pointers, so the check follows churn rewiring.
 func (r *Ring[S]) Coherent() bool {
-	n := len(r.Nodes)
 	for i, nd := range r.Nodes {
-		p, s := (i-1+n)%n, (i+1)%n
+		if !r.active[i] {
+			continue
+		}
+		p, s := nd.predID, nd.succID
 		if nd.Cache(p) != r.Nodes[p].State() || nd.Cache(s) != r.Nodes[s].State() {
 			return false
 		}

@@ -40,30 +40,39 @@ func CorruptConfig[S comparable](in *Injector, cfg statemodel.Config[S], count i
 	return perm
 }
 
-// CorruptStates overwrites the local states of count random nodes of a CST
-// ring.
+// CorruptStates overwrites the local states of count random ring members
+// of a CST ring. Only current members are targeted: corrupting a node
+// that churn has detached would be invisible (and, through a later join,
+// indistinguishable from the joiner's arbitrary start state anyway). On
+// a churn-free ring the draws are identical to a permutation over all
+// node ids.
 func CorruptStates[S comparable](in *Injector, r *cst.Ring[S], count int, draw func(*rand.Rand) S) []int {
-	if count > len(r.Nodes) {
-		count = len(r.Nodes)
+	members := r.Members()
+	if count > len(members) {
+		count = len(members)
 	}
-	perm := in.rng.Perm(len(r.Nodes))[:count]
-	for _, i := range perm {
+	perm := in.rng.Perm(len(members))[:count]
+	hit := make([]int, 0, count)
+	for _, mi := range perm {
+		i := members[mi]
 		r.Nodes[i].SetState(draw(in.rng))
+		hit = append(hit, i)
 	}
-	return perm
+	return hit
 }
 
 // CorruptCaches overwrites count random cache entries (a random neighbor
-// cache of a random node each) of a CST ring.
+// cache of a random member each) of a CST ring. The corrupted slot is one
+// of the node's *current* neighbors, so the injection stays valid after
+// churn has rewired the ring.
 func CorruptCaches[S comparable](in *Injector, r *cst.Ring[S], count int, draw func(*rand.Rand) S) {
-	n := len(r.Nodes)
+	members := r.Members()
 	for j := 0; j < count; j++ {
-		i := in.rng.Intn(n)
-		var k int
-		if in.rng.Intn(2) == 0 {
-			k = (i - 1 + n) % n
-		} else {
-			k = (i + 1) % n
+		i := members[in.rng.Intn(len(members))]
+		pred, succ := r.Nodes[i].Neighbors()
+		k := pred
+		if in.rng.Intn(2) != 0 {
+			k = succ
 		}
 		r.Nodes[i].SetCache(k, draw(in.rng))
 	}

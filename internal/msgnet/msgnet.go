@@ -475,6 +475,57 @@ func (n *Network[P]) SetLinkUp(a, b int, up bool) {
 	l.down = !up
 }
 
+// HasLink reports whether the directed link a->b currently exists (cut
+// links exist; removed links do not).
+func (n *Network[P]) HasLink(a, b int) bool {
+	_, ok := n.links[[2]int{a, b}]
+	return ok
+}
+
+// RemoveLink tears down the directed link from a to b (ring churn: the
+// edge no longer exists, unlike a SetLinkUp outage which keeps it cut but
+// present). Frames already in transit on the link are NOT cancelled —
+// they were on the medium when the topology changed and still arrive;
+// receivers are expected to discard frames from ex-neighbors. Removing a
+// link that does not exist is a no-op, so churn orchestration need not
+// track which edges survived earlier splices.
+func (n *Network[P]) RemoveLink(a, b int) {
+	delete(n.links, [2]int{a, b})
+	if n.linkAt != nil {
+		nn := len(n.handlers)
+		if a >= 0 && a < nn && b >= 0 && b < nn {
+			n.linkAt[a*nn+b] = nil
+		}
+	}
+}
+
+// Rand returns the simulation RNG. External drivers (fault injectors,
+// churn orchestration) draw from it so their randomness shares the one
+// seeded stream that makes a run a pure function of (topology, seed).
+func (n *Network[P]) Rand() *rand.Rand { return n.rng }
+
+// SendFrom injects a send from node `from` outside a handler callback —
+// the hook churn orchestration uses to make a freshly joined node
+// announce its state at the splice instant. It is the same path as
+// Context.Send: the link-busy rule, loss/corruption/duplication coins and
+// tap stream all apply identically.
+func (n *Network[P]) SendFrom(from, to int, payload P) bool {
+	return n.send(from, to, payload)
+}
+
+// StartTimer arms a timer for node after d time units, outside a handler
+// callback (churn orchestration arming a joiner's refresh timer). Kind is
+// handed back to the node's Timer callback, exactly as Context.After.
+func (n *Network[P]) StartTimer(node int, d Time, kind int) {
+	if d < 0 {
+		panic("msgnet: negative timer delay")
+	}
+	if node < 0 || node >= len(n.handlers) {
+		panic(fmt.Sprintf("msgnet: StartTimer for unknown node %d", node))
+	}
+	n.pushTimer(n.now+d, int32(node), int32(kind))
+}
+
 // linkFromTo resolves the directed link on the hot path: one bounds check
 // and one slice index once the table is compiled, with the construction
 // map as the pre-start fallback.

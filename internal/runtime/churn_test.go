@@ -1,0 +1,195 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"ssrmin/internal/core"
+)
+
+// churnEngine builds an SSRmin engine with spare capacity for joins; K is
+// sized for the largest ring the tests grow to.
+func churnEngine(n, k, spare int, seed int64) (*core.Algorithm, *Engine[core.State]) {
+	a := core.New(n, k)
+	opts := engineOpts(seed, 0)
+	opts.Spare = spare
+	return a, NewEngine[core.State](a, a.InitialLegitimate(), opts)
+}
+
+func TestEngineChurnClampsToOneWorker(t *testing.T) {
+	_, e := churnEngine(6, 9, 1, 1)
+	e.ScheduleJoin(0.5, 2, core.State{X: 3})
+	e.RunUntil(0.01)
+	if w := e.Workers(); w != 1 {
+		t.Fatalf("Workers = %d with churn scheduled, want 1", w)
+	}
+}
+
+func TestEngineJoinExtendsRing(t *testing.T) {
+	_, e := churnEngine(5, 9, 2, 1)
+	e.ScheduleJoin(1.0, 2, core.State{X: 3})
+	e.RunUntil(0.5)
+	if got := e.Members(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("Members before join = %v", got)
+	}
+	// The join instant perturbs the census (stale caches on the rewired
+	// edges) — that transient is what the monitors' settle windows grace.
+	// Let it settle, then the bounds must hold again.
+	e.RunUntil(2.5)
+	if got := e.Members(); !reflect.DeepEqual(got, []int{0, 1, 2, 5, 3, 4}) {
+		t.Fatalf("Members after join = %v", got)
+	}
+	if e.MemberCount() != 6 {
+		t.Fatalf("MemberCount = %d, want 6", e.MemberCount())
+	}
+	minC, maxC, seen := sampleCensus(e, 6)
+	if minC < 1 || maxC > 2 {
+		t.Errorf("census range [%d, %d] after join settled, want within [1, 2]", minC, maxC)
+	}
+	if !seen[5] {
+		t.Error("privilege never visited the joiner")
+	}
+}
+
+func TestEngineLeaveShrinksRing(t *testing.T) {
+	_, e := churnEngine(5, 9, 0, 1)
+	e.ScheduleLeave(1.0, 3)
+	e.RunUntil(2.5) // settle past the leave transient
+	minC, maxC, seen := sampleCensus(e, 8)
+	if got := e.Members(); !reflect.DeepEqual(got, []int{0, 1, 2, 4}) {
+		t.Fatalf("Members after leave = %v", got)
+	}
+	if minC < 1 || maxC > 2 {
+		t.Errorf("census range [%d, %d] after leave settled, want within [1, 2]", minC, maxC)
+	}
+	for _, m := range e.Members() {
+		if !seen[m] {
+			t.Errorf("privilege never visited survivor %d", m)
+		}
+	}
+	if len(e.Holders(core.HasToken)) > 0 {
+		for _, h := range e.Holders(core.HasToken) {
+			if h == 3 {
+				t.Error("detached node 3 still reported as holder")
+			}
+		}
+	}
+}
+
+func TestEngineSpliceDropsStaleFrames(t *testing.T) {
+	_, e := churnEngine(6, 9, 0, 1)
+	e.ScheduleSplice(1.0, 0, 2) // removes members 1 and 2
+	before := e.Stats()
+	e.RunUntil(2.5) // settle past the splice transient
+	minC, maxC, _ := sampleCensus(e, 8)
+	if got := e.Members(); !reflect.DeepEqual(got, []int{0, 3, 4, 5}) {
+		t.Fatalf("Members after splice = %v", got)
+	}
+	if minC < 1 || maxC > 2 {
+		t.Errorf("census range [%d, %d] after splice settled, want within [1, 2]", minC, maxC)
+	}
+	// Frames in flight toward the removed arc (or from ex-neighbors)
+	// must be dropped, not delivered into stale cache slots.
+	if after := e.Stats(); after.Dropped == before.Dropped {
+		t.Log("note: no stale frames were in flight at the splice instant")
+	}
+}
+
+func TestEngineChurnMatchesReference(t *testing.T) {
+	run := func(ref bool) ([]TapEvent, EngineStats, []int) {
+		_, e := churnEngine(6, 10, 1, 7)
+		e.Reference = ref
+		e.EnableTaps()
+		e.ScheduleJoin(0.8, 3, core.State{X: 5})
+		e.ScheduleLeave(2.0, 4)
+		e.ScheduleSplice(4.0, 0, 2)
+		e.RunUntil(8)
+		return e.Taps(), e.Stats(), e.Members()
+	}
+	taps, stats, members := run(false)
+	refTaps, refStats, refMembers := run(true)
+	if !reflect.DeepEqual(members, refMembers) {
+		t.Fatalf("membership diverged: %v vs %v", members, refMembers)
+	}
+	if stats != refStats {
+		t.Fatalf("stats diverged:\nsharded   %+v\nreference %+v", stats, refStats)
+	}
+	if len(taps) != len(refTaps) {
+		t.Fatalf("tap count diverged: %d vs %d", len(taps), len(refTaps))
+	}
+	for i := range taps {
+		if taps[i] != refTaps[i] {
+			t.Fatalf("tap %d diverged: %+v vs %+v", i, taps[i], refTaps[i])
+		}
+	}
+}
+
+func TestEngineChurnGuards(t *testing.T) {
+	t.Run("leave bottom", func(t *testing.T) {
+		_, e := churnEngine(5, 9, 0, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e.ScheduleLeave(1, 0)
+	})
+	t.Run("shrink below 3", func(t *testing.T) {
+		_, e := churnEngine(4, 9, 0, 1)
+		e.ScheduleLeave(1, 1)
+		e.ScheduleLeave(2, 2)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e.RunUntil(5)
+	})
+	t.Run("splice through bottom", func(t *testing.T) {
+		_, e := churnEngine(6, 9, 0, 1)
+		e.ScheduleSplice(1, 4, 3)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e.RunUntil(5)
+	})
+	t.Run("join without spare", func(t *testing.T) {
+		_, e := churnEngine(5, 9, 0, 1)
+		e.ScheduleJoin(1, 0, core.State{})
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e.RunUntil(5)
+	})
+	t.Run("churn after freeze", func(t *testing.T) {
+		_, e := churnEngine(5, 9, 1, 1)
+		e.RunUntil(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e.ScheduleJoin(2, 0, core.State{})
+	})
+}
+
+func TestEngineChurnDeterministic(t *testing.T) {
+	run := func() ([]TapEvent, EngineStats) {
+		_, e := churnEngine(6, 10, 2, 3)
+		e.EnableTaps()
+		e.ScheduleJoin(0.7, 1, core.State{X: 2})
+		e.ScheduleSplice(2.5, 0, 2)
+		e.ScheduleJoin(4.0, 0, core.State{X: 7})
+		e.RunUntil(8)
+		return e.Taps(), e.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if s1 != s2 || !reflect.DeepEqual(t1, t2) {
+		t.Fatal("churn execution not deterministic across identical runs")
+	}
+}

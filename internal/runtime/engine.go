@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math/rand"
 	goruntime "runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -110,7 +111,10 @@ type Engine[S comparable] struct {
 	Reference bool
 
 	alg statemodel.Algorithm[S]
-	n   int
+	n   int // founding ring size (= alg.N()); views carry this N
+	// total = n + spares: the full node/link capacity, the size every
+	// structural array is carved over.
+	total int
 
 	delay, jitter, refresh, loss float64
 
@@ -119,6 +123,16 @@ type Engine[S comparable] struct {
 	shards  []engShard[S]
 	shardOf []int32
 	w       int
+
+	// Live ring topology. predOf/succOf replace the founding-ring modulo
+	// so churn can rewire mid-run; active marks membership (spares and
+	// leavers are false); members counts the true entries.
+	predOf, succOf []int32
+	active         []bool
+	members        int
+	spareNext      int
+	churn          []churnOp[S]
+	churnIdx       int
 
 	refQ    *refQueue[S]
 	pending []eventRec[S] // initial announces, timers and scheduled injects
@@ -160,26 +174,43 @@ func NewEngine[S comparable](alg statemodel.Algorithm[S], init statemodel.Config
 	if opts.Delay <= 0 {
 		panic("runtime: Engine requires a positive Delay (it is the epoch lookahead)")
 	}
-	e := &Engine[S]{
-		alg:     alg,
-		n:       n,
-		delay:   opts.Delay.Seconds(),
-		jitter:  opts.Jitter.Seconds(),
-		refresh: opts.Refresh.Seconds(),
-		loss:    opts.LossProb,
-		w:       resolveWorkers(opts.Workers, n),
+	if opts.Spare < 0 {
+		panic("runtime: negative Spare")
 	}
-	e.nodes = make([]engNode[S], n)
-	e.links = make([]engLink, 2*n)
-	e.shardOf = make([]int32, n)
+	total := n + opts.Spare
+	e := &Engine[S]{
+		alg:       alg,
+		n:         n,
+		total:     total,
+		delay:     opts.Delay.Seconds(),
+		jitter:    opts.Jitter.Seconds(),
+		refresh:   opts.Refresh.Seconds(),
+		loss:      opts.LossProb,
+		w:         resolveWorkers(opts.Workers, total),
+		members:   n,
+		spareNext: n,
+	}
+	e.nodes = make([]engNode[S], total)
+	e.links = make([]engLink, 2*total)
+	e.shardOf = make([]int32, total)
+	e.predOf = make([]int32, total)
+	e.succOf = make([]int32, total)
+	e.active = make([]bool, total)
 
 	seedRNG := rand.New(rand.NewSource(opts.Seed))
 	var mix prng = prng(uint64(opts.Seed)*0x9E3779B97F4A7C15 + 0x6A09E667F3BCC909)
-	for i := 0; i < n; i++ {
-		pred, succ := (i-1+n)%n, (i+1)%n
+	for i := 0; i < total; i++ {
 		nd := &e.nodes[i]
-		nd.state = init[i]
 		nd.rng = prng(mix.next())
+		if i >= n {
+			// Dormant spare: detached, silent until a ScheduleJoin wakes it.
+			e.predOf[i], e.succOf[i] = -1, -1
+			continue
+		}
+		pred, succ := (i-1+n)%n, (i+1)%n
+		e.predOf[i], e.succOf[i] = int32(pred), int32(succ)
+		e.active[i] = true
+		nd.state = init[i]
 		if opts.CoherentCaches {
 			nd.cachePred, nd.cacheSucc = init[pred], init[succ]
 		} else if opts.RandomState != nil {
@@ -267,6 +298,63 @@ func (e *Engine[S]) EnableTaps() {
 	e.taps = true
 }
 
+// churnOp is one scheduled ring-topology change, applied at the epoch
+// boundary containing its time.
+type churnOp[S comparable] struct {
+	at    float64
+	kind  uint8 // opJoin, opLeave, opSplice
+	node  int32 // join/splice anchor, or the leaver
+	count int32 // splice arc length
+	state S     // joiner's initial state
+}
+
+const (
+	opJoin uint8 = iota
+	opLeave
+	opSplice
+)
+
+// ScheduleJoin schedules the next dormant spare to splice into the ring
+// between node `after` and its successor at virtual time at, starting
+// from state s. Must be called before the first run; joiner ids are
+// assigned n, n+1, ... in join order. Churn collapses the engine to one
+// worker: the shard arcs and their SPSC adjacency assume a static ring.
+func (e *Engine[S]) ScheduleJoin(at float64, after int, s S) {
+	e.scheduleChurn(at, churnOp[S]{at: at, kind: opJoin, node: int32(after), state: s})
+}
+
+// ScheduleLeave schedules node v to leave the ring at virtual time at.
+// Node 0 (the Dijkstra bottom) can never leave.
+func (e *Engine[S]) ScheduleLeave(at float64, v int) {
+	if v == 0 {
+		panic("runtime: node 0 (bottom) cannot leave the ring")
+	}
+	e.scheduleChurn(at, churnOp[S]{at: at, kind: opLeave, node: int32(v)})
+}
+
+// ScheduleSplice schedules the removal of the count consecutive members
+// following `after` at virtual time at, reconnecting the ring with one
+// fresh edge.
+func (e *Engine[S]) ScheduleSplice(at float64, after, count int) {
+	if count < 1 {
+		panic("runtime: splice count must be >= 1")
+	}
+	e.scheduleChurn(at, churnOp[S]{at: at, kind: opSplice, node: int32(after), count: int32(count)})
+}
+
+func (e *Engine[S]) scheduleChurn(at float64, op churnOp[S]) {
+	if e.frozen {
+		panic("runtime: churn scheduled after the engine started")
+	}
+	if at < 0 {
+		panic("runtime: churn scheduled in the past")
+	}
+	if op.node < 0 || int(op.node) >= e.total {
+		panic(fmt.Sprintf("runtime: churn node %d out of range", op.node))
+	}
+	e.churn = append(e.churn, op)
+}
+
 // ScheduleInject schedules a transient fault: at virtual time at, node's
 // state is overwritten with s (and announced, exactly like a live
 // Inject). Must be called before the first run; this is how crosscheck
@@ -297,13 +385,22 @@ func (e *Engine[S]) freeze() {
 		return
 	}
 	e.frozen = true
+	if len(e.churn) > 0 || e.total > e.n {
+		// Churn rewires neighbor relations mid-run; the SPSC rings only
+		// connect adjacent shard arcs, so a rewired ring must run on one
+		// worker. (The Reference twin is unaffected — it is already one.)
+		e.w = 1
+		// Equal times apply in schedule order; ops land at the epoch
+		// boundary containing their timestamp.
+		sortChurn(e.churn)
+	}
 	if e.Reference {
 		e.w = 1
 		e.refQ = newRefQueue[S](len(e.pending))
 	}
 	w := e.w
 	e.shards = make([]engShard[S], w)
-	base, rem := e.n/w, e.n%w
+	base, rem := e.total/w, e.total%w
 	lo := 0
 	for i := 0; i < w; i++ {
 		size := base
@@ -369,8 +466,15 @@ func (e *Engine[S]) Workers() int {
 
 // stepEpoch runs one epoch (T, T+Delay]: every shard drains its inbound
 // rings, then processes its events with at < T+Delay in key order.
+// Scheduled churn ops whose time falls inside the epoch are applied at
+// its start — between epochs no event is in flight within a shard, so
+// rewiring here cannot race a dispatch.
 func (e *Engine[S]) stepEpoch() {
 	horizon := e.now + e.delay
+	for e.churnIdx < len(e.churn) && e.churn[e.churnIdx].at < horizon {
+		e.applyChurn(&e.churn[e.churnIdx])
+		e.churnIdx++
+	}
 	switch {
 	case e.refQ != nil:
 		e.refEpoch(horizon)
@@ -457,8 +561,24 @@ func (e *Engine[S]) stopWorkers() {
 func (e *Engine[S]) dispatch(sh *engShard[S], rec *eventRec[S]) {
 	sh.events++
 	nd := &e.nodes[rec.node]
+	if !e.active[rec.node] {
+		// The destination left the ring (or never joined): in-flight
+		// frames die on arrival and lapsed nodes let their timer chains
+		// end. Mirrors the msgnet tier's detached-node discard.
+		if rec.kind == evFromPred || rec.kind == evFromSucc {
+			sh.dropped++
+		}
+		return
+	}
 	switch rec.kind {
 	case evFromPred:
+		// key2's high word is the sender. A frame from an ex-neighbor was
+		// already on the medium when churn rewired the ring: discard it
+		// rather than poison a cache slot describing a different node.
+		if from := int32(rec.key2 >> 32); from != e.predOf[rec.node] {
+			sh.dropped++
+			return
+		}
 		nd.cachePred = rec.payload
 		sh.carried++
 		e.tap(sh, nd, rec.at, rec.node, TapDeliver, e.pred(rec.node), 0)
@@ -467,6 +587,10 @@ func (e *Engine[S]) dispatch(sh *engShard[S], rec *eventRec[S]) {
 		}
 		e.step(sh, rec.at, rec.node)
 	case evFromSucc:
+		if from := int32(rec.key2 >> 32); from != e.succOf[rec.node] {
+			sh.dropped++
+			return
+		}
 		nd.cacheSucc = rec.payload
 		sh.carried++
 		e.tap(sh, nd, rec.at, rec.node, TapDeliver, e.succ(rec.node), 0)
@@ -642,13 +766,104 @@ func (e *Engine[S]) notifyPriv(at float64, node int32) {
 }
 
 // pred and succ map a node to its ring neighbors — foreign indices from
-// a worker's point of view, usable only as message destinations.
+// a worker's point of view, usable only as message destinations. The
+// lookup tables replace the founding-ring modulo so churn can rewire
+// them; on a static ring they hold exactly the modulo values.
 //
 //shardsafety:neighbor
-func (e *Engine[S]) pred(node int32) int32 { return (node - 1 + int32(e.n)) % int32(e.n) }
+func (e *Engine[S]) pred(node int32) int32 { return e.predOf[node] }
 
 //shardsafety:neighbor
-func (e *Engine[S]) succ(node int32) int32 { return (node + 1) % int32(e.n) }
+func (e *Engine[S]) succ(node int32) int32 { return e.succOf[node] }
+
+// ---------------------------------------------------------------------------
+// Churn application (epoch boundaries, single worker)
+// ---------------------------------------------------------------------------
+
+// sortChurn orders ops by time, schedule order breaking ties.
+func sortChurn[S comparable](ops []churnOp[S]) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].at < ops[j].at })
+}
+
+// applyChurn rewires the ring for one op. It runs between epochs on the
+// driving goroutine, so every node and link is safe to touch. Frames in
+// flight toward a rewired node survive in the event heap; dispatch drops
+// the ones whose sender is no longer the receiver's neighbor, mirroring
+// the msgnet tier's stale-frame discard.
+func (e *Engine[S]) applyChurn(op *churnOp[S]) {
+	switch op.kind {
+	case opJoin:
+		e.applyJoin(op.at, op.node, op.state)
+	case opLeave:
+		e.detachArc(op.node, 1)
+	case opSplice:
+		e.detachArc(e.succOf[op.node], op.count)
+	}
+}
+
+func (e *Engine[S]) applyJoin(at float64, after int32, state S) {
+	if !e.active[after] {
+		panic(fmt.Sprintf("runtime: join anchor %d is not a ring member", after))
+	}
+	if e.spareNext >= e.total {
+		panic("runtime: no dormant spare left to join")
+	}
+	j := int32(e.spareNext)
+	e.spareNext++
+	a, b := after, e.succOf[after]
+	e.succOf[a], e.predOf[b] = j, j
+	e.predOf[j], e.succOf[j] = a, b
+	e.active[j] = true
+	e.members++
+	nd := &e.nodes[j]
+	nd.state = state
+	// The joiner has not heard from either neighbor yet: self-seeded
+	// caches, healed by the announcement exchange the evInit triggers.
+	nd.cachePred, nd.cacheSucc = state, state
+	// The rewired edges are fresh physical links: idle, like the msgnet
+	// tier's AddLink.
+	e.links[2*a].busyUntil = 0
+	e.links[2*b+1].busyUntil = 0
+	e.links[2*j].busyUntil = 0
+	e.links[2*j+1].busyUntil = 0
+	sh := &e.shards[e.shardOf[j]]
+	e.emitLocal(sh, eventRec[S]{at: at, key2: key2(j, nd.seq), node: j, kind: evInit})
+	nd.seq++
+	phase := e.refresh * nd.rng.float64()
+	e.emitLocal(sh, eventRec[S]{at: at + phase, key2: key2(j, nd.seq), node: j, kind: evTimer})
+	nd.seq++
+}
+
+// detachArc removes the count consecutive members starting at first and
+// reconnects their outer neighbors with one fresh edge — Leave is the
+// count==1 case.
+func (e *Engine[S]) detachArc(first int32, count int32) {
+	if first >= 0 && !e.active[first] {
+		panic(fmt.Sprintf("runtime: churn removes non-member %d", first))
+	}
+	if e.members-int(count) < 3 {
+		panic("runtime: churn would shrink the ring below 3 members")
+	}
+	v := first
+	a := e.predOf[first]
+	for i := int32(0); i < count; i++ {
+		if v == 0 {
+			panic("runtime: churn arc contains node 0 (bottom)")
+		}
+		if !e.active[v] {
+			panic(fmt.Sprintf("runtime: churn removes non-member %d", v))
+		}
+		next := e.succOf[v]
+		e.predOf[v], e.succOf[v] = -1, -1
+		e.active[v] = false
+		e.members--
+		v = next
+	}
+	b := v
+	e.succOf[a], e.predOf[b] = b, a
+	e.links[2*a].busyUntil = 0
+	e.links[2*b+1].busyUntil = 0
+}
 
 // ---------------------------------------------------------------------------
 // Reads (safe in both modes: direct when idle, via the pacer when live)
@@ -683,12 +898,43 @@ func (e *Engine[S]) Holders(holder func(statemodel.View[S]) bool) []int {
 
 func (e *Engine[S]) holdersNow(holder func(statemodel.View[S]) bool, out []int) []int {
 	for i := range e.nodes {
+		if !e.active[i] {
+			continue
+		}
 		nd := &e.nodes[i]
 		v := statemodel.View[S]{I: i, N: e.n, Self: nd.state, Pred: nd.cachePred, Succ: nd.cacheSucc}
 		if holder(v) {
 			out = append(out, i)
 		}
 	}
+	return out
+}
+
+// MemberCount returns the current ring size.
+func (e *Engine[S]) MemberCount() int {
+	var m int
+	e.do(func() { m = e.members })
+	return m
+}
+
+// Members returns the active node ids in ring order, starting at node 0
+// (the bottom, which can never leave) and following successor pointers.
+func (e *Engine[S]) Members() []int {
+	var out []int
+	e.do(func() {
+		out = make([]int, 0, e.members)
+		i := int32(0)
+		for {
+			out = append(out, int(i))
+			i = e.succOf[i]
+			if i == 0 {
+				break
+			}
+			if len(out) > e.total {
+				panic("runtime: successor pointers do not close a ring")
+			}
+		}
+	})
 	return out
 }
 

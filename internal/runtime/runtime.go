@@ -53,6 +53,11 @@ type Options[S comparable] struct {
 	// GOMAXPROCS, clamped to [1, n]). The goroutine-per-node Ring
 	// ignores it.
 	Workers int
+	// Spare preallocates dormant extra nodes (ids n..n+Spare-1) on the
+	// sharded Engine for mid-run ScheduleJoin churn; an engine with spares
+	// or scheduled churn runs on one worker (the shard arcs assume a
+	// static ring). The goroutine-per-node Ring ignores it.
+	Spare int
 }
 
 // Snapshot is one node's published view: its own state and its neighbor

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChurnPlanTrajectory(t *testing.T) {
+	faults := []Fault{
+		{At: 5, Type: "join", Node: 2},              // [0 1 2 6 3 4 5]
+		{At: 10, Type: "leave", Node: 4},            // [0 1 2 6 3 5]
+		{At: 15, Type: "splice", Node: 0, Count: 2}, // [0 6 3 5]
+		{At: 20, Type: "join", Node: 6},             // [0 6 7 3 5]
+	}
+	joins, maxSize, err := ChurnPlan(6, faults)
+	if err != nil {
+		t.Fatalf("ChurnPlan: %v", err)
+	}
+	if joins != 2 {
+		t.Fatalf("joins = %d, want 2", joins)
+	}
+	if maxSize != 7 {
+		t.Fatalf("maxSize = %d, want 7", maxSize)
+	}
+}
+
+func TestChurnPlanOrdersByTime(t *testing.T) {
+	// Written out of order: the leave of node 4 at t=10 is only legal
+	// because the join at t=5 has already created node 4.
+	faults := []Fault{
+		{At: 10, Type: "leave", Node: 4},
+		{At: 5, Type: "join", Node: 0},
+		{At: 2, Type: "leave", Node: 1},
+	}
+	joins, maxSize, err := ChurnPlan(4, faults)
+	if err != nil {
+		t.Fatalf("ChurnPlan: %v", err)
+	}
+	if joins != 1 || maxSize != 4 {
+		t.Fatalf("joins, maxSize = %d, %d, want 1, 4", joins, maxSize)
+	}
+}
+
+func TestChurnPlanRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		faults []Fault
+		want   string
+	}{
+		{"anchor not a member", 4, []Fault{
+			{At: 1, Type: "leave", Node: 2},
+			{At: 2, Type: "join", Node: 2},
+		}, "not a ring member"},
+		{"leave bottom", 4, []Fault{{At: 1, Type: "leave", Node: 0}}, "removes node 0"},
+		{"leave below three", 3, []Fault{{At: 1, Type: "leave", Node: 1}}, "below 3 members"},
+		{"splice below three", 5, []Fault{{At: 1, Type: "splice", Node: 0, Count: 3}}, "below 3 members"},
+		{"splice wraps onto bottom", 5, []Fault{{At: 1, Type: "splice", Node: 3, Count: 2}}, "removes node 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ChurnPlan(tc.n, tc.faults)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ChurnPlan err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateChurnRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Scenario)
+		want string
+	}{
+		{"negative join node", func(s *Scenario) {
+			s.Faults = []Fault{{At: 1, Type: "join", Node: -1}}
+		}, "out of range"},
+		{"negative splice count", func(s *Scenario) {
+			s.Faults = []Fault{{At: 1, Type: "splice", Node: 0, Count: -2}}
+		}, "positive count"},
+		{"unrealizable plan", func(s *Scenario) {
+			s.Faults = []Fault{{At: 1, Type: "leave", Node: 0}}
+		}, "removes node 0"},
+		{"K below max ring size", func(s *Scenario) {
+			s.K = 6
+			s.Faults = []Fault{{At: 1, Type: "join", Node: 0}}
+		}, "max ring size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.edit(&s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateDefaultsSpliceCount(t *testing.T) {
+	s := base()
+	s.K = 10
+	s.Faults = []Fault{{At: 1, Type: "splice", Node: 0}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Faults[0].Count != 1 {
+		t.Fatalf("splice count defaulted to %d, want 1", s.Faults[0].Count)
+	}
+}
+
+// TestRunWithChurnScript drives joins, a leave, and a splice through the
+// msgnet tier and checks the ring re-stabilizes to a census of one or two
+// holders after the final topology change.
+func TestRunWithChurnScript(t *testing.T) {
+	s := Scenario{
+		Name:    "churn-run",
+		N:       5,
+		K:       10,
+		Horizon: 60,
+		Link:    Link{Delay: 0.01, Jitter: 0.002},
+		Seed:    3,
+		Faults: []Fault{
+			{At: 5, Type: "join", Node: 1},
+			{At: 10, Type: "join", Node: 5},
+			{At: 15, Type: "leave", Node: 3},
+			{At: 20, Type: "splice", Node: 0, Count: 2},
+		},
+		SettleBefore: 40,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("violations after settle = %d (last bad at %v)", res.Violations, res.LastBad)
+	}
+	if res.MinCensus < 1 || res.MaxCensus > 2 {
+		t.Fatalf("census range [%d, %d] after settle, want within [1, 2]", res.MinCensus, res.MaxCensus)
+	}
+}
+
+// TestCutOfSplicedEdgeIsNoop replays the ISSUE's crash candidate: a cut
+// scheduled on an edge that an earlier splice already removed from the
+// topology must be ignored, not panic.
+func TestCutOfSplicedEdgeIsNoop(t *testing.T) {
+	s := Scenario{
+		Name:    "cut-after-splice",
+		N:       5,
+		K:       10,
+		Horizon: 40,
+		Link:    Link{Delay: 0.01},
+		Seed:    1,
+		Faults: []Fault{
+			{At: 5, Type: "splice", Node: 1, Count: 1}, // removes node 2, edges 1-2 and 2-3
+			{At: 10, Type: "cut", Link: 2},             // edge 2-3 is gone
+			{At: 12, Type: "heal", Link: 2},
+		},
+		SettleBefore: 25,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MinCensus < 1 || res.MaxCensus > 2 {
+		t.Fatalf("census range [%d, %d] after settle, want within [1, 2]", res.MinCensus, res.MaxCensus)
+	}
+}
+
+func TestLoadRejectsMisspelledChurnField(t *testing.T) {
+	doc := `{"name": "x", "n": 5, "horizon": 5, "seed": 1,
+		"faults": [{"at": 1, "type": "join", "nodde": 2}]}`
+	_, err := Load(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "nodde") {
+		t.Fatalf("Load err = %v, want unknown-field error naming nodde", err)
+	}
+}

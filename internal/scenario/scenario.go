@@ -28,13 +28,26 @@ type Fault struct {
 	// At is the simulated time of injection (seconds).
 	At float64 `json:"at"`
 	// Type is one of "states", "caches", "cut", "heal", "loss-on",
-	// "loss-off".
+	// "loss-off" — or a churn event: "join" (a new node splices in after
+	// node Node), "leave" (node Node leaves the ring), "splice" (the
+	// Count members following Node are removed and the ring reconnects).
 	Type string `json:"type"`
-	// Count is how many states/cache entries to corrupt (states/caches).
+	// Count is how many states/cache entries to corrupt (states/caches),
+	// or the arc length of a splice (default 1).
 	Count int `json:"count,omitempty"`
 	// Link is the ring edge to cut or heal, as the lower endpoint: the
 	// edge between node Link and node Link+1 (mod n).
 	Link int `json:"link,omitempty"`
+	// Node anchors a churn event: the join insertion point, the leaver,
+	// or the node whose following arc a splice removes. Joined nodes get
+	// ids n, n+1, ... in join order and are valid anchors for later
+	// events.
+	Node int `json:"node,omitempty"`
+}
+
+// IsChurn reports whether the fault is a ring-topology event.
+func (f Fault) IsChurn() bool {
+	return f.Type == "join" || f.Type == "leave" || f.Type == "splice"
 }
 
 // Link describes the ring links.
@@ -198,12 +211,33 @@ func (s *Scenario) Validate() error {
 				return fmt.Errorf("scenario %q: fault %d link %d out of range", s.Name, i, f.Link)
 			}
 		case "loss-on", "loss-off":
+		case "join", "leave":
+			if f.Node < 0 {
+				return fmt.Errorf("scenario %q: fault %d node %d out of range", s.Name, i, f.Node)
+			}
+		case "splice":
+			if f.Node < 0 {
+				return fmt.Errorf("scenario %q: fault %d node %d out of range", s.Name, i, f.Node)
+			}
+			if f.Count == 0 {
+				s.Faults[i].Count = 1
+			} else if f.Count < 0 {
+				return fmt.Errorf("scenario %q: fault %d needs a positive count", s.Name, i)
+			}
 		default:
 			return fmt.Errorf("scenario %q: fault %d has unknown type %q", s.Name, i, f.Type)
 		}
 		if f.At < 0 || f.At > s.Horizon {
 			return fmt.Errorf("scenario %q: fault %d at %v outside horizon", s.Name, i, f.At)
 		}
+	}
+	// Churn events must form a realizable plan, and the counter space must
+	// dominate the largest ring the plan grows (the K > n requirement,
+	// applied to every size the ring passes through).
+	if _, maxSize, err := ChurnPlan(s.N, s.Faults); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	} else if s.K <= maxSize {
+		return fmt.Errorf("scenario %q: K = %d must exceed the churn plan's max ring size %d", s.Name, s.K, maxSize)
 	}
 	return nil
 }
@@ -274,6 +308,10 @@ func newSSTokenBundle(s Scenario) bundle[dijkstra.State] {
 }
 
 func runGeneric[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (Result, error) {
+	spare, _, err := ChurnPlan(s.N, s.Faults)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	ring := cst.NewRing[S](b.alg, b.init, cst.Options[S]{
 		Link:           link,
 		Refresh:        msgnet.Time(s.Refresh),
@@ -281,6 +319,7 @@ func runGeneric[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (
 		Seed:           s.Seed,
 		CoherentCaches: !s.IncoherentCaches,
 		RandomState:    b.draw,
+		Spare:          spare,
 	})
 	if link.CorruptProb > 0 {
 		ring.Net.Corrupt = func(rng *rand.Rand, payload S) S { return b.draw(rng) }
@@ -312,15 +351,19 @@ func runGeneric[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (
 		case "caches":
 			fault.CorruptCaches[S](inj, ring, f.Count, b.draw)
 		case "cut":
-			ring.Net.SetLinkUp(f.Link, (f.Link+1)%s.N, false)
-			ring.Net.SetLinkUp((f.Link+1)%s.N, f.Link, false)
+			setEdge(ring.Net, f.Link, (f.Link+1)%s.N, false)
 		case "heal":
-			ring.Net.SetLinkUp(f.Link, (f.Link+1)%s.N, true)
-			ring.Net.SetLinkUp((f.Link+1)%s.N, f.Link, true)
+			setEdge(ring.Net, f.Link, (f.Link+1)%s.N, true)
 		case "loss-on":
 			ring.Net.LossEnabled = true
 		case "loss-off":
 			ring.Net.LossEnabled = false
+		case "join":
+			ring.Join(f.Node, b.draw(inj.Rand()))
+		case "leave":
+			ring.Leave(f.Node)
+		case "splice":
+			ring.Splice(f.Node, f.Count)
 		}
 	}
 	ring.Net.Run(msgnet.Time(s.Horizon))
@@ -334,6 +377,18 @@ func runGeneric[S comparable](s Scenario, b bundle[S], link msgnet.LinkParams) (
 	res.RuleExecutions = ring.RuleExecutions()
 	res.Net = ring.Net.Stats()
 	return res, nil
+}
+
+// setEdge cuts or heals both directions of one ring edge, skipping
+// directions that churn has already removed from the topology — a cut of
+// a spliced-away edge is a no-op, not a crash.
+func setEdge[S comparable](net *msgnet.Network[S], a, b int, up bool) {
+	if net.HasLink(a, b) {
+		net.SetLinkUp(a, b, up)
+	}
+	if net.HasLink(b, a) {
+		net.SetLinkUp(b, a, up)
+	}
 }
 
 // runSynchro executes the scenario under the α-synchronizer transform.

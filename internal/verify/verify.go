@@ -268,16 +268,13 @@ func (tl *Timeline) Intervals(count int) []Interval {
 	return out
 }
 
-// At returns the count in effect at time t. Before the first record it
-// returns -1. The timeline must be closed.
+// At returns the count in effect at time t: the last record with time
+// ≤ t, so an instant exactly on a record boundary reads the new count,
+// and same-instant changepoints resolve to the final one. Before the
+// first record it returns -1. The timeline must be closed.
 func (tl *Timeline) At(t float64) int {
 	tl.mustClosed()
-	idx := sort.SearchFloat64s(tl.times, t)
-	// SearchFloat64s returns the first index with times[idx] >= t; the
-	// record in effect is the previous one unless t hits it exactly.
-	if idx < len(tl.times) && tl.times[idx] == t {
-		return tl.counts[idx]
-	}
+	idx := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t })
 	if idx == 0 {
 		return -1
 	}

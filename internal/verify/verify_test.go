@@ -305,3 +305,73 @@ func TestTimelineZeroLengthWindow(t *testing.T) {
 		t.Errorf("Fraction(2) = %v, want 0", got)
 	}
 }
+
+// TestTimelineAtRecordBoundary: At(t) with t exactly on a record's
+// instant must return that record's count, not the previous one — the
+// changepoint itself already carries the new census.
+func TestTimelineAtRecordBoundary(t *testing.T) {
+	var tl Timeline
+	tl.Record(1, 1)
+	tl.Record(3, 2)
+	tl.Record(5, 0)
+	tl.Close(7)
+	cases := []struct {
+		at   float64
+		want int
+	}{
+		{0.5, -1}, // before the first record
+		{1, 1},    // exactly on the first record
+		{2, 1},
+		{3, 2}, // exactly on an interior boundary
+		{4.999, 2},
+		{5, 0}, // exactly on the last record
+		{6, 0},
+		{7, 0}, // at the close instant
+	}
+	for _, tc := range cases {
+		if got := tl.At(tc.at); got != tc.want {
+			t.Errorf("At(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+// TestTimelineIntervalsClosedAtLastRecord: closing the window exactly at
+// the last record's time makes that record a zero-length excursion, which
+// Intervals must omit while keeping the earlier occupancies intact.
+func TestTimelineIntervalsClosedAtLastRecord(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 1)
+	tl.Record(2, 2)
+	tl.Record(4, 1)
+	tl.Close(4)
+	if got := tl.Intervals(1); len(got) != 1 || got[0] != (Interval{From: 0, To: 2}) {
+		t.Errorf("Intervals(1) = %v, want [{0 2}] only (final record is zero-length)", got)
+	}
+	if got := tl.Intervals(2); len(got) != 1 || got[0] != (Interval{From: 2, To: 4}) {
+		t.Errorf("Intervals(2) = %v, want [{2 4}]", got)
+	}
+	if got := tl.MaxCount(); got != 2 {
+		t.Errorf("MaxCount = %d, want 2", got)
+	}
+}
+
+// TestTimelineFractionZeroSpan: a timeline whose whole span is a single
+// instant must report Fraction 0 for every count rather than divide by
+// zero, including counts that were recorded at that instant.
+func TestTimelineFractionZeroSpan(t *testing.T) {
+	var tl Timeline
+	tl.Record(2, 1)
+	tl.Record(2, 3) // same-instant changepoint
+	tl.Close(2)
+	for _, c := range []int{0, 1, 3} {
+		if got := tl.Fraction(c); got != 0 {
+			t.Errorf("Fraction(%d) = %v, want 0 on a zero-span timeline", c, got)
+		}
+	}
+	if got := tl.Intervals(1); len(got) != 0 {
+		t.Errorf("Intervals(1) = %v, want empty", got)
+	}
+	if got := tl.At(2); got != 3 {
+		t.Errorf("At(2) = %d, want 3 (last same-instant record)", got)
+	}
+}
