@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build test test-race test-race-core test-short cover bench \
-        bench-check bench-obs bench-msgnet bench-runtime bench-smoke experiments \
+        bench-check bench-obs bench-msgnet bench-runtime bench-batch \
+        bench-smoke experiments \
         experiments-quick modelcheck modelcheck-n5 examples fmt vet lint \
         fuzz-short soak-short clean
 
@@ -64,6 +65,15 @@ bench-runtime:
 	$(GO) test -run '^$$' -bench 'RuntimeEngine' -benchmem -count 3 . \
 	  | $(GO) run ./cmd/benchjson -o BENCH_runtime.json
 
+# Record the bit-sliced batch simulator: 64-lane SSRmin convergence
+# sweeps (the fig12 workload) against the scalar statemodel oracle, in
+# BENCH_batch.json with seeds/s and steps/s custom metrics. The
+# acceptance bar is >= 20x the scalar seeds/s at every ring size.
+bench-batch:
+	$(GO) test -run '^$$' -bench 'BitsliceBatch' -benchmem -count 3 \
+	  ./internal/bitslice \
+	  | $(GO) run ./cmd/benchjson -o BENCH_batch.json
+
 # CI guard against silent perf rot: re-run the tracked benchmarks
 # briefly (-benchtime 20x keeps the whole sweep under a second) and
 # compare ns/op against the committed records. Shared-runner noise is
@@ -79,6 +89,11 @@ bench-smoke:
 	  | $(GO) run ./cmd/benchjson -o /tmp/bench_runtime_smoke.json
 	$(GO) run ./cmd/benchjson -compare -max-regress 400 \
 	  BENCH_runtime.json /tmp/bench_runtime_smoke.json
+	$(GO) test -run '^$$' -bench 'BitsliceBatch' -benchmem -benchtime 5x \
+	  ./internal/bitslice \
+	  | $(GO) run ./cmd/benchjson -o /tmp/bench_batch_smoke.json
+	$(GO) run ./cmd/benchjson -compare -max-regress 400 \
+	  BENCH_batch.json /tmp/bench_batch_smoke.json
 
 # Regenerate every paper artifact + extension ablations (see EXPERIMENTS.md).
 experiments:
@@ -147,6 +162,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzConfigFlags -fuzztime 5s ./internal/cliconf
 	$(GO) test -run '^$$' -fuzz FuzzJSONLEmit -fuzztime 5s ./internal/obs
 	$(GO) test -run '^$$' -fuzz FuzzWaiverParse -fuzztime 5s ./internal/lint
+	$(GO) test -run '^$$' -fuzz FuzzBitsliceStep -fuzztime 5s ./internal/bitslice
 
 clean:
 	$(GO) clean ./...

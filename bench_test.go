@@ -27,6 +27,7 @@ package ssrmin
 import (
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"testing"
 	"time"
 
@@ -428,6 +429,10 @@ func BenchmarkLiveRing(b *testing.B) {
 // legacy runtime at n=10k. The engine advances unscaled virtual time, so
 // its events/s is bounded by dispatch cost; the legacy ring is paced by
 // real link delays, which is exactly the gap the engine exists to close.
+// The worker count is an explicit benchmark dimension — recorded as the
+// workers/run metric — so committed BENCH_runtime.json numbers say what
+// parallelism they were taken at instead of silently inheriting
+// GOMAXPROCS.
 func BenchmarkRuntimeEngine(b *testing.B) {
 	ropts := runtime.Options[core.State]{
 		Delay:          10 * time.Millisecond,
@@ -437,18 +442,23 @@ func BenchmarkRuntimeEngine(b *testing.B) {
 		CoherentCaches: true,
 	}
 	for _, n := range []int{10000, 100000} {
-		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
-			alg := core.New(n, n+1)
-			eng := runtime.NewEngine[core.State](alg, alg.InitialLegitimate(), ropts)
-			b.ResetTimer()
-			start := eng.Stats().Events
-			for i := 0; i < b.N; i++ {
-				eng.RunUntil(eng.Now() + 0.05)
-			}
-			events := eng.Stats().Events - start
-			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
-			b.ReportMetric(float64(n), "nodes/ring")
-		})
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("engine/n=%d,w=%d", n, w), func(b *testing.B) {
+				opts := ropts
+				opts.Workers = w
+				alg := core.New(n, n+1)
+				eng := runtime.NewEngine[core.State](alg, alg.InitialLegitimate(), opts)
+				b.ResetTimer()
+				start := eng.Stats().Events
+				for i := 0; i < b.N; i++ {
+					eng.RunUntil(eng.Now() + 0.05)
+				}
+				events := eng.Stats().Events - start
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+				b.ReportMetric(float64(n), "nodes/ring")
+				b.ReportMetric(float64(eng.Workers()), "workers/run")
+			})
+		}
 	}
 	b.Run("legacy/n=10000", func(b *testing.B) {
 		const n = 10000
@@ -467,5 +477,8 @@ func BenchmarkRuntimeEngine(b *testing.B) {
 		events := dr + (dc - carried)
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		b.ReportMetric(float64(n), "nodes/ring")
+		// The legacy ring runs one goroutine per node; the schedulable
+		// parallelism underneath is GOMAXPROCS.
+		b.ReportMetric(float64(goruntime.GOMAXPROCS(0)), "workers/run")
 	})
 }

@@ -2,6 +2,26 @@ package main
 
 import "testing"
 
+// TestBatchExecutorTablesByteIdentical is the CI differential gate for
+// the bit-sliced batch executor: for every sweep workload the table
+// rendered from scalar-oracle step counts and the table rendered from
+// bit-sliced step counts must be byte-identical.
+func TestBatchExecutorTablesByteIdentical(t *testing.T) {
+	ns := []int{8, 16}
+	if !testing.Short() {
+		ns = []int{8, 16, 32}
+	}
+	for _, a := range batchAlgos {
+		scalarTab, batchTab, _, _ := renderBatchTables(a, ns, 2, 1)
+		if scalarTab == "" {
+			t.Fatalf("%s: empty table", a.name)
+		}
+		if scalarTab != batchTab {
+			t.Errorf("%s: executors disagree\n--- scalar ---\n%s--- batch ---\n%s", a.name, scalarTab, batchTab)
+		}
+	}
+}
+
 // TestRegistrySanity checks the experiment index: unique ids, non-empty
 // descriptions, runnable functions.
 func TestRegistrySanity(t *testing.T) {
@@ -28,7 +48,7 @@ func TestRegistrySanity(t *testing.T) {
 		"closure", "deadlock", "lemma5", "theorem1", "theorem4",
 		"convergence", "exactworst", "baseline", "handover", "overhead",
 		"singlefault", "refresh", "delay", "scaling", "corruption",
-		"lkcs", "outage", "secondary", "transforms",
+		"lkcs", "outage", "secondary", "transforms", "batchconv",
 	} {
 		if !seenID[want] {
 			t.Errorf("experiment %q missing from registry", want)

@@ -1,0 +1,52 @@
+package bitslice
+
+import (
+	"fmt"
+	"testing"
+
+	"ssrmin/internal/core"
+)
+
+// BenchmarkBitsliceBatch measures the fig12-style SSRmin convergence
+// sweep — 64 seeded runs to legitimacy under the subset daemon — through
+// the scalar statemodel oracle and through the bit-sliced batch kernel.
+// One op is one 64-seed batch on both paths, so ns/op is directly
+// comparable and the seeds/s ratio between the batch and scalar rows is
+// the recorded speedup (`make bench-batch` → BENCH_batch.json).
+func BenchmarkBitsliceBatch(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{8, 12}, {16, 20}, {32, 40}} {
+		bound := core.New(tc.n, tc.k).ConvergenceStepBound()
+
+		b.Run(fmt.Sprintf("scalar/n=%d,K=%d", tc.n, tc.k), func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				for lane := 0; lane < Lanes; lane++ {
+					s, ok := ScalarSSRminRun(tc.n, tc.k, Subset, int64(i), lane, bound)
+					if !ok {
+						b.Fatalf("seed %d lane %d did not converge within %d steps", i, lane, bound)
+					}
+					steps += s
+				}
+			}
+			b.ReportMetric(float64(b.N*Lanes)/b.Elapsed().Seconds(), "seeds/s")
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		})
+
+		b.Run(fmt.Sprintf("batch/n=%d,K=%d", tc.n, tc.k), func(b *testing.B) {
+			batch := NewSSRmin(tc.n, tc.k, Subset)
+			var steps int
+			for i := 0; i < b.N; i++ {
+				batch.SeedLanes(int64(i))
+				laneSteps, converged := batch.Run(bound)
+				if converged != allLanes {
+					b.Fatalf("seed %d: lanes %#x did not converge within %d steps", i, ^converged, bound)
+				}
+				for _, s := range laneSteps {
+					steps += s
+				}
+			}
+			b.ReportMetric(float64(b.N*Lanes)/b.Elapsed().Seconds(), "seeds/s")
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}

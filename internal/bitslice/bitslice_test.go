@@ -1,0 +1,234 @@
+package bitslice
+
+import (
+	"testing"
+
+	"ssrmin/internal/core"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/statemodel"
+)
+
+// TestTranspose64 pins the bit-matrix orientation: out[i] bit L must be
+// in[L] bit i, checked against a naive per-bit transpose.
+func TestTranspose64(t *testing.T) {
+	var in, out, want [Lanes]uint64
+	r := SeedStream(7, 0)
+	for i := range in {
+		in[i] = r.Next()
+	}
+	for i := 0; i < Lanes; i++ {
+		for l := 0; l < Lanes; l++ {
+			want[i] |= (in[l] >> uint(i) & 1) << uint(l)
+		}
+	}
+	transpose64(&in, &out)
+	if out != want {
+		t.Fatalf("transpose64 orientation wrong")
+	}
+}
+
+// TestIncModK sweeps every digit for several alphabets, including the
+// power-of-two case where the truncated K constant is zero.
+func TestIncModK(t *testing.T) {
+	for _, k := range []int{5, 8, 9, 16, 17, 33} {
+		planes := planesFor(k)
+		src := make([]uint64, planes)
+		dst := make([]uint64, planes)
+		kc := make([]uint64, planes)
+		broadcastK(kc, k)
+		for v := 0; v < k; v++ {
+			for lane := 0; lane < Lanes; lane++ {
+				setDigitLane(src, lane, (v+lane)%k)
+			}
+			incModK(dst, src, kc)
+			for lane := 0; lane < Lanes; lane++ {
+				want := ((v+lane)%k + 1) % k
+				if got := digitLane(dst, lane); got != want {
+					t.Fatalf("K=%d lane=%d: inc(%d) = %d, want %d", k, lane, (v+lane)%k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRNGMatchesScalarStream checks SeedStream determinism and lane
+// decorrelation (no two of the first lanes share their first draws).
+func TestRNGMatchesScalarStream(t *testing.T) {
+	seen := map[uint64]int{}
+	for lane := 0; lane < Lanes; lane++ {
+		a, b := SeedStream(42, lane), SeedStream(42, lane)
+		if a.Next() != b.Next() || a.Next() != b.Next() {
+			t.Fatalf("lane %d: SeedStream not deterministic", lane)
+		}
+		c := SeedStream(42, lane)
+		first := c.Next()
+		if prev, dup := seen[first]; dup {
+			t.Fatalf("lanes %d and %d share their first draw", prev, lane)
+		}
+		seen[first] = lane
+	}
+}
+
+// checkLane compares one extracted lane against a scalar configuration.
+func checkLaneSSRmin(t *testing.T, b *SSRmin, lane int, want statemodel.Config[core.State], at string) {
+	t.Helper()
+	got := b.LaneConfig(lane)
+	if !got.Equal(want) {
+		t.Fatalf("%s: lane %d diverged\n batch:  %v\n scalar: %v", at, lane, got, want)
+	}
+}
+
+// TestSSRminMatchesScalar steps seeded batches against 64 scalar
+// simulators configuration-for-configuration, and checks the legitimacy
+// mask against core.Algorithm.Legitimate at every step.
+func TestSSRminMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		n, k  int
+		kind  DaemonKind
+		seed  int64
+		steps int
+	}{
+		{5, 7, Subset, 1, 120},
+		{5, 8, Synchronous, 2, 120},
+		{8, 16, Subset, 3, 80},
+		{13, 17, Subset, 4, 60},
+		{64, 65, Subset, 5, 25},
+	} {
+		alg := core.New(tc.n, tc.k)
+		b := NewSSRmin(tc.n, tc.k, tc.kind)
+		b.SeedLanes(tc.seed)
+
+		sims := make([]*statemodel.Simulator[core.State], Lanes)
+		for lane := 0; lane < Lanes; lane++ {
+			rng := SeedStream(tc.seed, lane)
+			init := make(statemodel.Config[core.State], tc.n)
+			for i := range init {
+				init[i] = SampleSSRmin(&rng, tc.k)
+			}
+			r := rng // pin the stream copy for this lane's daemon
+			sims[lane] = statemodel.NewSimulator[core.State](alg, scalarDaemon(tc.kind, &r), init)
+			checkLaneSSRmin(t, b, lane, init, "seeding")
+		}
+		for s := 0; s < tc.steps; s++ {
+			legit := b.LegitMask()
+			for lane := 0; lane < Lanes; lane++ {
+				if got, want := legit>>uint(lane)&1 == 1, alg.Legitimate(sims[lane].Config()); got != want {
+					t.Fatalf("n=%d step %d lane %d: legit mask %v, scalar %v", tc.n, s, lane, got, want)
+				}
+			}
+			if stuck := b.Step(); stuck != 0 {
+				t.Fatalf("n=%d step %d: unexpected deadlock mask %#x", tc.n, s, stuck)
+			}
+			for lane := 0; lane < Lanes; lane++ {
+				if _, ok := sims[lane].Step(); !ok {
+					t.Fatalf("n=%d step %d lane %d: scalar deadlock", tc.n, s, lane)
+				}
+				checkLaneSSRmin(t, b, lane, sims[lane].Config(), "stepping")
+			}
+		}
+	}
+}
+
+// TestSSTokenMatchesScalar is the SSToken twin of the test above.
+func TestSSTokenMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		n, k  int
+		kind  DaemonKind
+		seed  int64
+		steps int
+	}{
+		{5, 7, Subset, 11, 120},
+		{5, 8, Synchronous, 12, 120},
+		{9, 16, Subset, 13, 80},
+		{64, 66, Subset, 14, 25},
+	} {
+		alg := dijkstra.New(tc.n, tc.k)
+		b := NewSSToken(tc.n, tc.k, tc.kind)
+		b.SeedLanes(tc.seed)
+
+		sims := make([]*statemodel.Simulator[dijkstra.State], Lanes)
+		for lane := 0; lane < Lanes; lane++ {
+			rng := SeedStream(tc.seed, lane)
+			init := make(statemodel.Config[dijkstra.State], tc.n)
+			for i := range init {
+				init[i] = SampleSSToken(&rng, tc.k)
+			}
+			r := rng
+			sims[lane] = statemodel.NewSimulator[dijkstra.State](alg, scalarDaemon(tc.kind, &r), init)
+			if !b.LaneConfig(lane).Equal(init) {
+				t.Fatalf("n=%d lane %d: seeding diverged", tc.n, lane)
+			}
+		}
+		for s := 0; s < tc.steps; s++ {
+			legit := b.LegitMask()
+			for lane := 0; lane < Lanes; lane++ {
+				if got, want := legit>>uint(lane)&1 == 1, alg.Legitimate(sims[lane].Config()); got != want {
+					t.Fatalf("n=%d step %d lane %d: legit mask %v, scalar %v", tc.n, s, lane, got, want)
+				}
+			}
+			if stuck := b.Step(); stuck != 0 {
+				t.Fatalf("n=%d step %d: unexpected deadlock mask %#x", tc.n, s, stuck)
+			}
+			for lane := 0; lane < Lanes; lane++ {
+				if _, ok := sims[lane].Step(); !ok {
+					t.Fatalf("n=%d step %d lane %d: scalar deadlock", tc.n, s, lane)
+				}
+				if got, want := b.LaneConfig(lane), sims[lane].Config(); !got.Equal(want) {
+					t.Fatalf("n=%d step %d lane %d diverged\n batch:  %v\n scalar: %v", tc.n, s, lane, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunMatchesScalarRunUntil pins the whole convergence loop — step
+// counts and converged flags — against RunUntil per lane, for both
+// algorithms and both daemons.
+func TestRunMatchesScalarRunUntil(t *testing.T) {
+	for _, kind := range []DaemonKind{Synchronous, Subset} {
+		for _, seed := range []int64{1, 99} {
+			n, k := 8, 12
+			bound := core.New(n, k).ConvergenceStepBound()
+			b := NewSSRmin(n, k, kind)
+			b.SeedLanes(seed)
+			steps, converged := b.Run(bound)
+			for lane := 0; lane < Lanes; lane++ {
+				ws, wok := ScalarSSRminRun(n, k, kind, seed, lane, bound)
+				if steps[lane] != ws || (converged>>uint(lane)&1 == 1) != wok {
+					t.Fatalf("ssrmin %v seed %d lane %d: batch (%d,%v) scalar (%d,%v)",
+						kind, seed, lane, steps[lane], converged>>uint(lane)&1 == 1, ws, wok)
+				}
+			}
+
+			d := NewSSToken(n, k, kind)
+			d.SeedLanes(seed)
+			dBound := 3 * dijkstra.New(n, k).ConvergenceBound()
+			dSteps, dConv := d.Run(dBound)
+			for lane := 0; lane < Lanes; lane++ {
+				ws, wok := ScalarSSTokenRun(n, k, kind, seed, lane, dBound)
+				if dSteps[lane] != ws || (dConv>>uint(lane)&1 == 1) != wok {
+					t.Fatalf("sstoken %v seed %d lane %d: batch (%d,%v) scalar (%d,%v)",
+						kind, seed, lane, dSteps[lane], dConv>>uint(lane)&1 == 1, ws, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRetiresLanesAtBudget forces a tiny step budget and checks the
+// non-converged lanes come back with steps = maxSteps and a zero
+// converged bit.
+func TestRunRetiresLanesAtBudget(t *testing.T) {
+	b := NewSSRmin(8, 12, Subset)
+	b.SeedLanes(3)
+	steps, converged := b.Run(2)
+	for lane := 0; lane < Lanes; lane++ {
+		ok := converged>>uint(lane)&1 == 1
+		if !ok && steps[lane] != 2 {
+			t.Fatalf("lane %d: not converged but steps=%d, want 2", lane, steps[lane])
+		}
+		if ok && steps[lane] > 2 {
+			t.Fatalf("lane %d: converged with steps=%d past budget", lane, steps[lane])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package bitslice
+
+import (
+	"ssrmin/internal/core"
+	"ssrmin/internal/daemon"
+	"ssrmin/internal/dijkstra"
+	"ssrmin/internal/statemodel"
+)
+
+// SubsetDaemon is the scalar twin of the batch kernels' subset
+// scheduler: a statemodel.Daemon that makes exactly one splitmix64 draw
+// per step and includes enabled process i iff bit i of the draw is set,
+// falling back to every enabled process when the pick comes up empty.
+// Running it over SeedStream(seed, lane) replays batch lane `lane`
+// draw-for-draw.
+type SubsetDaemon struct {
+	rng *RNG
+	buf []statemodel.Move
+}
+
+// NewSubsetDaemon wraps an RNG stream as a daemon. The stream is
+// consumed; share the pointer with nothing else.
+func NewSubsetDaemon(rng *RNG) *SubsetDaemon {
+	return &SubsetDaemon{rng: rng, buf: make([]statemodel.Move, 0, Lanes)}
+}
+
+// Name implements statemodel.Daemon.
+func (d *SubsetDaemon) Name() string { return "bitslice-subset" }
+
+// Select implements statemodel.Daemon: one draw, coin bits by process
+// index, all-enabled fallback.
+func (d *SubsetDaemon) Select(enabled []statemodel.Move) []statemodel.Move {
+	draw := d.rng.Next()
+	d.buf = d.buf[:0]
+	for _, m := range enabled {
+		if draw>>uint(m.Process)&1 == 1 {
+			d.buf = append(d.buf, m)
+		}
+	}
+	if len(d.buf) == 0 {
+		d.buf = append(d.buf, enabled...)
+	}
+	return d.buf
+}
+
+// scalarDaemon materializes the scheduler for one scalar lane run.
+func scalarDaemon(kind DaemonKind, rng *RNG) statemodel.Daemon {
+	if kind == Synchronous {
+		return daemon.Synchronous{}
+	}
+	return NewSubsetDaemon(rng)
+}
+
+// ScalarSSRminRun replays batch lane `lane` of an SSRmin batch seeded
+// with seed through the scalar statemodel path: sample the initial
+// configuration from SeedStream(seed, lane), then RunUntil(Legitimate,
+// maxSteps) under the matching daemon. It returns the transition count
+// and whether the lane converged — the oracle the bit-sliced Run must
+// equal lane for lane.
+func ScalarSSRminRun(n, k int, kind DaemonKind, seed int64, lane, maxSteps int) (int, bool) {
+	alg := core.New(n, k)
+	rng := SeedStream(seed, lane)
+	init := make(statemodel.Config[core.State], n)
+	for i := range init {
+		init[i] = SampleSSRmin(&rng, k)
+	}
+	sim := statemodel.NewSimulator[core.State](alg, scalarDaemon(kind, &rng), init)
+	return sim.RunUntil(alg.Legitimate, maxSteps)
+}
+
+// ScalarSSTokenRun is ScalarSSRminRun for Dijkstra's K-state ring.
+func ScalarSSTokenRun(n, k int, kind DaemonKind, seed int64, lane, maxSteps int) (int, bool) {
+	alg := dijkstra.New(n, k)
+	rng := SeedStream(seed, lane)
+	init := make(statemodel.Config[dijkstra.State], n)
+	for i := range init {
+		init[i] = SampleSSToken(&rng, k)
+	}
+	sim := statemodel.NewSimulator[dijkstra.State](alg, scalarDaemon(kind, &rng), init)
+	return sim.RunUntil(alg.Legitimate, maxSteps)
+}

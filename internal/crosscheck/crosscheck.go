@@ -646,6 +646,11 @@ func runLiveEngine(sc Scenario, o *obs.Observer) EngineResult {
 	})
 	if o != nil {
 		eng.SetObserver(o, core.HasToken)
+	} else {
+		// Install the predicate even without an observer, so the census
+		// sampling below reads the shard-local accumulators instead of
+		// rescanning every node each Delay tick.
+		eng.SetPrivilegeCallback(core.HasToken, nil)
 	}
 
 	chk := newCensusChecker(EngineLive, sc.Settle)
@@ -692,7 +697,11 @@ func runLiveEngine(sc Scenario, o *obs.Observer) EngineResult {
 			}
 			fi++
 		}
-		chk.observe(now, eng.Census(core.HasToken))
+		census, tracked := eng.TrackedCensus()
+		if !tracked {
+			census = eng.Census(core.HasToken)
+		}
+		chk.observe(now, census)
 		if membersStale {
 			members = eng.Members()
 			membersStale = false

@@ -37,6 +37,7 @@ var AllocGate = &Analyzer{
 		"ssrmin/internal/msgnet",
 		"ssrmin/internal/cst",
 		"ssrmin/internal/runtime",
+		"ssrmin/internal/bitslice",
 	},
 	Run: runAllocGate,
 }

@@ -35,6 +35,7 @@ var Hotpath = &Analyzer{
 		"ssrmin/internal/msgnet",
 		"ssrmin/internal/cst",
 		"ssrmin/internal/runtime",
+		"ssrmin/internal/bitslice",
 	},
 	Run: runHotpath,
 }

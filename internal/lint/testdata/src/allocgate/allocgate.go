@@ -26,6 +26,31 @@ func hotClean(a, b int) int {
 	return a + b
 }
 
+// kernel mimics a bit-sliced step kernel: preallocated plane buffers,
+// pure word arithmetic. The clean variant reuses its scratch; the dirty
+// one allocates the scratch digit every step.
+type kernel struct {
+	x, inc []uint64
+}
+
+//allocgate:hot
+func (k *kernel) stepClean(m uint64) {
+	for p := range k.x {
+		k.inc[p] = (k.x[p] &^ m) | (k.inc[p] & m)
+	}
+}
+
+//allocgate:hot
+func (k *kernel) stepDirty(m uint64) uint64 {
+	scratch := make([]uint64, len(k.x)) // want `hot function stepDirty allocates on the heap`
+	var acc uint64
+	for p := range k.x {
+		scratch[p] = k.x[p] & m
+		acc |= scratch[p]
+	}
+	return acc
+}
+
 func coldAlloc(n int) *box {
 	return &box{v: n}
 }

@@ -76,6 +76,39 @@ func rebuild(q *queue) map[int]int {
 	return idx
 }
 
+// batch mimics a bit-sliced lane kernel: plane-transposed words plus a
+// per-lane done mask, all preallocated by its constructor.
+type batch struct {
+	planes []uint64
+	done   uint64
+}
+
+// NewBatch is the construction site — the only place the kernel's
+// buffers may be allocated.
+func NewBatch(n int) *batch {
+	return &batch{planes: make([]uint64, n)}
+}
+
+// stepBatch is the per-step kernel shape: pure word arithmetic over the
+// preallocated planes, nothing flagged.
+func stepBatch(b *batch, m uint64) {
+	for p := range b.planes {
+		b.planes[p] = (b.planes[p] &^ m) | (b.planes[p] >> 1 & m)
+	}
+	b.done |= m
+}
+
+// stepBatchDirty regresses the kernel: a fresh scratch batch and a
+// per-lane map built once per step instead of once per construction.
+func stepBatchDirty(b *batch, m uint64) uint64 {
+	tmp := &batch{planes: b.planes} // want `allocates a composite literal per call`
+	lanes := make(map[int]uint64)   // want `builds a map per invocation`
+	for p := range tmp.planes {
+		lanes[p] = tmp.planes[p] & m
+	}
+	return lanes[0]
+}
+
 // shadowedNew proves only the predeclared builtins count: a local
 // function named new or make is not an allocation.
 func shadowedNew(q *queue) int {

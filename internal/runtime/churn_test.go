@@ -193,3 +193,27 @@ func TestEngineChurnDeterministic(t *testing.T) {
 		t.Fatal("churn execution not deterministic across identical runs")
 	}
 }
+
+// TestEngineTrackedCensusAcrossChurn pins the shard-local census
+// accumulators against the O(n) snapshot scan through every churn kind:
+// the joiner's initial view must be counted, leavers and spliced arcs
+// must be uncounted, and the running notifyPriv increments must keep the
+// two answers equal at every sample point in between.
+func TestEngineTrackedCensusAcrossChurn(t *testing.T) {
+	_, e := churnEngine(6, 12, 2, 3)
+	e.SetPrivilegeCallback(core.HasToken, nil)
+	e.ScheduleJoin(0.6, 2, core.State{X: 3})
+	e.ScheduleLeave(1.1, 4)
+	e.ScheduleSplice(1.6, 0, 2)
+	for h := 0.1; h < 2.6; h += 0.1 {
+		e.RunUntil(h)
+		tracked, ok := e.TrackedCensus()
+		if !ok {
+			t.Fatal("TrackedCensus unavailable with a privilege callback installed")
+		}
+		if scan := e.Census(core.HasToken); tracked != scan {
+			t.Fatalf("t=%v: tracked census %d != scanned census %d (members %v)",
+				h, tracked, scan, e.Members())
+		}
+	}
+}

@@ -12,10 +12,11 @@ import (
 
 // diffRun captures everything the differential test compares.
 type diffRun struct {
-	taps  []TapEvent
-	stats EngineStats
-	snaps []Snapshot[core.State]
-	now   float64
+	taps   []TapEvent
+	stats  EngineStats
+	snaps  []Snapshot[core.State]
+	now    float64
+	census []int // TrackedCensus samples at the mid and final horizons
 }
 
 // diffScenario derives a full engine configuration from the seed so the
@@ -71,11 +72,24 @@ func runDiff(t *testing.T, seed int64, workers int, reference bool, horizon floa
 	e := NewEngine[core.State](a, init, opts)
 	e.Reference = reference
 	e.EnableTaps()
+	e.SetPrivilegeCallback(core.HasToken, nil)
 	for _, f := range faults {
 		e.ScheduleInject(f.at, f.node, f.s)
 	}
-	e.RunUntil(horizon)
-	r := diffRun{taps: e.Taps(), stats: e.Stats(), snaps: e.Snapshots(), now: e.Now()}
+	var census []int
+	for _, h := range []float64{horizon / 2, horizon} {
+		e.RunUntil(h)
+		tracked, ok := e.TrackedCensus()
+		if !ok {
+			t.Fatalf("seed %d: TrackedCensus unavailable with a privilege callback installed", seed)
+		}
+		if scan := e.Census(core.HasToken); tracked != scan {
+			t.Fatalf("seed %d w=%d at t=%v: tracked census %d != scanned census %d",
+				seed, workers, h, tracked, scan)
+		}
+		census = append(census, tracked)
+	}
+	r := diffRun{taps: e.Taps(), stats: e.Stats(), snaps: e.Snapshots(), now: e.Now(), census: census}
 	e.Stop()
 	return r
 }
@@ -101,6 +115,9 @@ func TestEngineMatchesReference(t *testing.T) {
 			}
 			if !reflect.DeepEqual(got.snaps, want.snaps) {
 				t.Errorf("seed %d w=%d: final snapshots diverged", seed, w)
+			}
+			if !reflect.DeepEqual(got.census, want.census) {
+				t.Errorf("seed %d w=%d: census samples diverged: %v vs %v", seed, w, got.census, want.census)
 			}
 			if !reflect.DeepEqual(got.taps, want.taps) {
 				i := 0

@@ -874,10 +874,16 @@ func (l *LiveRing) Inject(node int, s State) bool {
 	return l.eng.Inject(node, s)
 }
 
-// Census returns the current number of privileged nodes.
+// Census returns the current number of privileged nodes. On the sharded
+// engine with an observer or privilege callback installed this reads the
+// shard-local census accumulators (O(workers)); otherwise it falls back
+// to the O(n) node scan.
 func (l *LiveRing) Census() int {
 	if l.ring != nil {
 		return l.ring.Census(core.HasToken)
+	}
+	if c, ok := l.eng.TrackedCensus(); ok {
+		return c
 	}
 	return l.eng.Census(core.HasToken)
 }
